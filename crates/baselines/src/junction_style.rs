@@ -1,0 +1,381 @@
+//! Junction-style growing open-addressing tables (paper §8.1.1).
+//!
+//! Jeff Preshing's *junction* library provides several concurrent maps that
+//! grow, like growt, by migrating a filled bounded table into a larger one,
+//! but with three characteristic differences that this model reproduces:
+//!
+//! * values support only **overwriting** updates (no atomic
+//!   read-modify-write through the interface — Table 1 "only overwrite"),
+//!   which is why junction is absent from the aggregation benchmark;
+//! * retired tables are reclaimed through a **QSBR** protocol: the
+//!   application must periodically call a quiescence function (our driver
+//!   does this through `quiesce`);
+//! * the migration is executed by the thread that detects the full table
+//!   while other threads keep using the old table until the swap —
+//!   simpler, but the migration is not parallel, which is the main reason
+//!   the junction tables trail the growt variants in Fig. 2b.
+//!
+//! Two probing disciplines are provided: [`JunctionLinear`] (plain linear
+//! probing) and [`JunctionLeapfrog`] (a fixed-stride "leapfrog" probe that
+//! models the delta-chained probing of the original Leapfrog map).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use growt_iface::{
+    Capabilities, ConcurrentMap, GrowthSupport, InsertOrUpdate, InterfaceStyle, Key, MapHandle,
+    Value,
+};
+use growt_reclaim::{CachedArc, QsbrDomain, VersionedArc};
+use parking_lot::Mutex;
+
+use crate::util::{capacity_for, hash_key, scale};
+
+const EMPTY: u64 = 0;
+const TOMBSTONE: u64 = 1;
+
+struct Array {
+    keys: Vec<AtomicU64>,
+    values: Vec<AtomicU64>,
+    capacity: usize,
+    used: AtomicUsize,
+}
+
+impl Array {
+    fn new(capacity: usize) -> Self {
+        Array {
+            keys: (0..capacity).map(|_| AtomicU64::new(EMPTY)).collect(),
+            values: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            capacity,
+            used: AtomicUsize::new(0),
+        }
+    }
+
+    #[inline]
+    fn probe(&self, index: usize, step: usize, stride: usize) -> usize {
+        (index + 1 + (step * stride)) & (self.capacity - 1)
+    }
+
+    /// `Ok(true)` inserted, `Ok(false)` already present, `Err(())` full.
+    fn insert(&self, key: u64, value: u64, stride: usize) -> Result<bool, ()> {
+        if self.used.load(Ordering::Relaxed) * 4 >= self.capacity * 3 {
+            return Err(());
+        }
+        let mut index = scale(hash_key(key), self.capacity);
+        for step in 0..self.capacity.min(512) {
+            let stored = self.keys[index].load(Ordering::Acquire);
+            if stored == key {
+                return Ok(false);
+            }
+            if stored == EMPTY {
+                match self.keys[index].compare_exchange(
+                    EMPTY,
+                    key,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        self.values[index].store(value, Ordering::Release);
+                        self.used.fetch_add(1, Ordering::Relaxed);
+                        return Ok(true);
+                    }
+                    Err(actual) if actual == key => return Ok(false),
+                    Err(_) => continue,
+                }
+            }
+            index = self.probe(index, step, stride);
+        }
+        Err(())
+    }
+
+    fn find_slot(&self, key: u64, stride: usize) -> Option<usize> {
+        let mut index = scale(hash_key(key), self.capacity);
+        for step in 0..self.capacity.min(512) {
+            let stored = self.keys[index].load(Ordering::Acquire);
+            if stored == EMPTY {
+                return None;
+            }
+            if stored == key {
+                return Some(index);
+            }
+            index = self.probe(index, step, stride);
+        }
+        None
+    }
+}
+
+struct JunctionCore {
+    current: VersionedArc<Array>,
+    qsbr: Arc<QsbrDomain>,
+    migration_lock: Mutex<()>,
+    stride: usize,
+    /// Set while a migration is copying cells; used to detect the race
+    /// between a key CAS and the subsequent value store (see `insert`).
+    migrating: std::sync::atomic::AtomicBool,
+}
+
+impl JunctionCore {
+    fn migrate(&self, observed_version: u64) {
+        // Single-threaded migration guarded by a lock (the detecting thread
+        // performs it; latecomers wait on the same lock, then notice the
+        // version changed).
+        let _guard = self.migration_lock.lock();
+        let (old, version) = self.current.acquire();
+        if version != observed_version {
+            return; // someone else already migrated
+        }
+        self.migrating.store(true, Ordering::SeqCst);
+        let new = Array::new(old.capacity * 2);
+        for i in 0..old.capacity {
+            let key = old.keys[i].load(Ordering::Acquire);
+            if key != EMPTY && key != TOMBSTONE {
+                let value = old.values[i].load(Ordering::Acquire);
+                let _ = new.insert(key, value, self.stride);
+            }
+        }
+        let retired = self.current.publish(Arc::new(new));
+        self.migrating.store(false, Ordering::SeqCst);
+        // The old array stays readable for in-flight readers until every
+        // handle passes a quiescent state.
+        self.qsbr.retire(Box::new(move || drop(retired)));
+    }
+}
+
+macro_rules! junction_table {
+    ($(#[$doc:meta])* $name:ident, $handle:ident, $display:literal, $stride:expr) => {
+        $(#[$doc])*
+        pub struct $name {
+            core: JunctionCore,
+        }
+
+        /// Per-thread handle (caches the current array, participates in QSBR).
+        pub struct $handle<'a> {
+            table: &'a $name,
+            cached: CachedArc<Array>,
+            participant: growt_reclaim::QsbrParticipant,
+        }
+
+        impl ConcurrentMap for $name {
+            type Handle<'a> = $handle<'a>;
+
+            fn with_capacity(capacity: usize) -> Self {
+                $name {
+                    core: JunctionCore {
+                        current: VersionedArc::new(Array::new(capacity_for(capacity))),
+                        qsbr: Arc::new(QsbrDomain::new()),
+                        migration_lock: Mutex::new(()),
+                        stride: $stride,
+                        migrating: std::sync::atomic::AtomicBool::new(false),
+                    },
+                }
+            }
+
+            fn handle(&self) -> $handle<'_> {
+                $handle {
+                    cached: CachedArc::new(&self.core.current),
+                    participant: self.core.qsbr.register(),
+                    table: self,
+                }
+            }
+
+            fn capabilities() -> Capabilities {
+                Capabilities {
+                    name: $display,
+                    interface: InterfaceStyle::QsbrFunction,
+                    growing: GrowthSupport::Full,
+                    atomic_updates: false,
+                    overwrite_only: true,
+                    deletion: true,
+                    arbitrary_types: false,
+                    note: "overwrite-only updates, QSBR reclamation",
+                }
+            }
+        }
+
+        impl $handle<'_> {
+            fn array(&mut self) -> Arc<Array> {
+                Arc::clone(self.cached.get(&self.table.core.current).0)
+            }
+        }
+
+        impl MapHandle for $handle<'_> {
+            fn insert(&mut self, k: Key, v: Value) -> bool {
+                loop {
+                    let array = self.array();
+                    let version = self.cached.cached_version();
+                    match array.insert(k, v, self.table.core.stride) {
+                        Ok(true) => {
+                            // The value is stored *after* the key CAS; a
+                            // migration that copied the cell in between
+                            // would have taken a zero value into the new
+                            // array.  Detect the overlap and repair the
+                            // element on the new array.
+                            if self.table.core.migrating.load(Ordering::SeqCst)
+                                || self.table.core.current.version() != version
+                            {
+                                while self.table.core.migrating.load(Ordering::SeqCst) {
+                                    std::thread::yield_now();
+                                }
+                                let fresh = self.array();
+                                match fresh.find_slot(k, self.table.core.stride) {
+                                    Some(slot) => fresh.values[slot].store(v, Ordering::Release),
+                                    None => {
+                                        let _ = fresh.insert(k, v, self.table.core.stride);
+                                    }
+                                }
+                            }
+                            return true;
+                        }
+                        Ok(false) => return false,
+                        Err(()) => {
+                            self.table.core.migrate(version);
+                        }
+                    }
+                }
+            }
+
+            fn find(&mut self, k: Key) -> Option<Value> {
+                let array = self.array();
+                array
+                    .find_slot(k, self.table.core.stride)
+                    .map(|slot| array.values[slot].load(Ordering::Acquire))
+            }
+
+            fn update(&mut self, k: Key, d: Value, up: fn(Value, Value) -> Value) -> bool {
+                // The original interface only supports overwriting stores;
+                // read-modify-write updates are therefore not atomic (the
+                // paper excludes junction from the aggregation benchmark for
+                // exactly this reason).
+                let array = self.array();
+                match array.find_slot(k, self.table.core.stride) {
+                    Some(slot) => {
+                        let cur = array.values[slot].load(Ordering::Acquire);
+                        array.values[slot].store(up(cur, d), Ordering::Release);
+                        true
+                    }
+                    None => false,
+                }
+            }
+
+            fn update_overwrite(&mut self, k: Key, d: Value) -> bool {
+                let array = self.array();
+                match array.find_slot(k, self.table.core.stride) {
+                    Some(slot) => {
+                        array.values[slot].store(d, Ordering::Release);
+                        true
+                    }
+                    None => false,
+                }
+            }
+
+            fn insert_or_update(&mut self, k: Key, d: Value, up: fn(Value, Value) -> Value) -> InsertOrUpdate {
+                if self.update(k, d, up) {
+                    InsertOrUpdate::Updated
+                } else if self.insert(k, d) {
+                    InsertOrUpdate::Inserted
+                } else {
+                    self.update(k, d, up);
+                    InsertOrUpdate::Updated
+                }
+            }
+
+            fn erase(&mut self, k: Key) -> bool {
+                let array = self.array();
+                match array.find_slot(k, self.table.core.stride) {
+                    Some(slot) => array.keys[slot]
+                        .compare_exchange(k, TOMBSTONE, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok(),
+                    None => false,
+                }
+            }
+
+            fn quiesce(&mut self) {
+                self.participant.quiescent();
+            }
+        }
+    };
+}
+
+junction_table!(
+    /// Junction "Linear"-style map: linear probing, overwrite-only values.
+    JunctionLinear,
+    JunctionLinearHandle,
+    "junction-linear",
+    0
+);
+
+junction_table!(
+    /// Junction "Leapfrog"-style map: strided probing approximating the
+    /// delta-chained probe sequences of the original.
+    JunctionLeapfrog,
+    JunctionLeapfrogHandle,
+    "junction-leapfrog",
+    3
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_roundtrip_both() {
+        fn roundtrip<M: ConcurrentMap>() {
+            let t = M::with_capacity(128);
+            let mut h = t.handle();
+            for k in 2..600u64 {
+                assert!(h.insert(k, k));
+            }
+            assert!(!h.insert(5, 9));
+            for k in 2..600u64 {
+                assert_eq!(h.find(k), Some(k));
+            }
+            assert!(h.update_overwrite(5, 50));
+            assert_eq!(h.find(5), Some(50));
+            assert!(h.erase(5));
+            assert_eq!(h.find(5), None);
+            h.quiesce();
+        }
+        roundtrip::<JunctionLinear>();
+        roundtrip::<JunctionLeapfrog>();
+    }
+
+    #[test]
+    fn grows_from_tiny_table() {
+        let t = JunctionLinear::with_capacity(8);
+        let mut h = t.handle();
+        for k in 2..20_002u64 {
+            assert!(h.insert(k, k * 2));
+            if k % 1024 == 0 {
+                h.quiesce();
+            }
+        }
+        for k in 2..20_002u64 {
+            assert_eq!(h.find(k), Some(k * 2));
+        }
+    }
+
+    #[test]
+    fn concurrent_growth_preserves_elements() {
+        let t = JunctionLeapfrog::with_capacity(16);
+        std::thread::scope(|s| {
+            for start in 0..4u64 {
+                let t = &t;
+                s.spawn(move || {
+                    let mut h = t.handle();
+                    for i in 0..5_000u64 {
+                        assert!(h.insert(start * 1_000_000 + i + 2, i));
+                        if i % 512 == 0 {
+                            h.quiesce();
+                        }
+                    }
+                });
+            }
+        });
+        let mut h = t.handle();
+        for start in 0..4u64 {
+            for i in 0..5_000u64 {
+                assert_eq!(h.find(start * 1_000_000 + i + 2), Some(i), "start {start} i {i}");
+            }
+        }
+    }
+}

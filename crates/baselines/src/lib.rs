@@ -1,0 +1,42 @@
+//! Reimplementations of the competitor concurrent hash tables benchmarked
+//! in *"Concurrent Hash Tables: Fast and General?(!)"* (PPoPP 2016), §8.1.
+//!
+//! The paper compares the growt family against six widely used libraries.
+//! Linking those C/C++ libraries would measure their build systems as much
+//! as their algorithms, so this crate reimplements each of them in Rust,
+//! preserving the algorithmic properties the paper attributes the
+//! performance differences to (locking discipline, probing scheme, growth
+//! mechanism, reclamation protocol); DESIGN.md §4 documents the
+//! correspondence in detail.
+//!
+//! | paper name | type here |
+//! |---|---|
+//! | junction linear / leapfrog | [`JunctionLinear`], [`JunctionLeapfrog`] |
+//! | TBB hash map / unordered map | [`TbbHashMap`], [`TbbUnorderedMap`] |
+//! | folly AtomicHashMap | [`FollyStyle`] |
+//! | libcuckoo | [`Cuckoo`] |
+//! | RCU / RCU-QSBR | [`RcuTable`], [`RcuQsbrTable`] |
+//! | phase-concurrent (Shun & Blelloch) | [`PhaseConcurrent`] |
+//! | hopscotch hashing | [`Hopscotch`] |
+//! | LeaHash | [`LeaHash`] |
+
+#![warn(missing_docs)]
+
+pub mod cuckoo;
+pub mod folly_style;
+pub mod hopscotch;
+pub mod junction_style;
+pub mod lea;
+pub mod phase_concurrent;
+pub mod rcu_style;
+pub mod tbb_style;
+pub(crate) mod util;
+
+pub use cuckoo::Cuckoo;
+pub use folly_style::FollyStyle;
+pub use hopscotch::Hopscotch;
+pub use junction_style::{JunctionLeapfrog, JunctionLinear};
+pub use lea::LeaHash;
+pub use phase_concurrent::PhaseConcurrent;
+pub use rcu_style::{RcuQsbrTable, RcuTable};
+pub use tbb_style::{TbbHashMap, TbbUnorderedMap};

@@ -1,0 +1,44 @@
+//! Shared helpers for the baseline implementations.
+
+/// The splitmix64 finalizer used by every table in the reproduction.
+#[inline]
+pub fn hash_key(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A second, independent mixer for tables that need two hash functions
+/// (cuckoo hashing).
+#[inline]
+pub fn hash_key_alt(mut x: u64) -> u64 {
+    x = (x ^ (x >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x = (x ^ (x >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    x ^ (x >> 33)
+}
+
+/// Map a hash value onto `capacity` slots (top-bits scaling, monotone).
+#[inline]
+pub fn scale(hash: u64, capacity: usize) -> usize {
+    ((hash as u128 * capacity as u128) >> 64) as usize
+}
+
+/// Round a requested element count up to a power-of-two slot count with
+/// head-room.
+pub fn capacity_for(expected: usize) -> usize {
+    (expected.max(2) * 2).next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_behave() {
+        assert!(capacity_for(1000).is_power_of_two());
+        assert!(capacity_for(1000) >= 2000);
+        assert_ne!(hash_key(7), hash_key_alt(7));
+        assert!(scale(u64::MAX, 1024) == 1023);
+        assert!(scale(0, 1024) == 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Regenerate the tables and figures of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p growt-bench --release --bin figure -- <id> [--ops N] [--threads 1,2,4]
+//!                                                        [--reps R] [--contention-threads P]
+//! ```
+//!
+//! `<id>` is one of: `table1`, `fig2a`, `fig2b`, `fig3a`, `fig3b`, `fig4a`,
+//! `fig4b`, `fig5a`, `fig5b`, `fig6`, `fig7a`, `fig7b`, `fig8a`, `fig8b`,
+//! `fig9a`, `fig9b`, `fig10`, `fig11a`, `fig11b`, `ablation_block`, or
+//! `all`.  Output is TSV on stdout (one block per figure).
+
+use growt_bench::*;
+
+/// Install the tracking allocator so that Fig. 10 can report memory usage.
+#[global_allocator]
+static GLOBAL: growt_alloc_track::TrackingAlloc = growt_alloc_track::TrackingAlloc;
+
+fn parse_args() -> (Vec<String>, HarnessConfig) {
+    let mut cfg = HarnessConfig::default();
+    let mut ids = Vec::new();
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ops" => {
+                cfg.ops = args.next().expect("--ops N").parse().expect("numeric --ops");
+            }
+            "--reps" => {
+                cfg.reps = args.next().expect("--reps R").parse().expect("numeric --reps");
+            }
+            "--threads" => {
+                cfg.threads = args
+                    .next()
+                    .expect("--threads list")
+                    .split(',')
+                    .map(|t| t.parse().expect("numeric thread count"))
+                    .collect();
+            }
+            "--contention-threads" => {
+                cfg.contention_threads = args
+                    .next()
+                    .expect("--contention-threads P")
+                    .parse()
+                    .expect("numeric thread count");
+            }
+            "--zipf" => {
+                cfg.zipf_s = args
+                    .next()
+                    .expect("--zipf list")
+                    .split(',')
+                    .map(|s| s.parse().expect("numeric zipf exponent"))
+                    .collect();
+            }
+            other if other.starts_with("--") => panic!("unknown option {other}"),
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids.push("table1".to_string());
+    }
+    (ids, cfg)
+}
+
+fn run(id: &str, cfg: &HarnessConfig) {
+    eprintln!("[figure] running {id} (ops = {}, threads = {:?})", cfg.ops, cfg.threads);
+    let output = match id {
+        "table1" => table1(),
+        "fig2a" => fig2a(cfg).to_tsv(),
+        "fig2b" => fig2b(cfg).to_tsv(),
+        "fig3a" => fig3(cfg, true).to_tsv(),
+        "fig3b" => fig3(cfg, false).to_tsv(),
+        "fig4a" => fig4a(cfg).to_tsv(),
+        "fig4b" => fig4b(cfg).to_tsv(),
+        "fig5a" => fig5(cfg, false).to_tsv(),
+        "fig5b" => fig5(cfg, true).to_tsv(),
+        "fig6" => fig6(cfg).to_tsv(),
+        "fig7a" => fig7(cfg, false).to_tsv(),
+        "fig7b" => fig7(cfg, true).to_tsv(),
+        "fig8a" => fig8a(cfg).to_tsv(),
+        "fig8b" => fig8b(cfg).to_tsv(),
+        "fig9a" => fig9(cfg, false).to_tsv(),
+        "fig9b" => fig9(cfg, true).to_tsv(),
+        "fig10" => fig10(cfg),
+        "fig11a" => fig11(cfg, false).to_tsv(),
+        "fig11b" => fig11(cfg, true).to_tsv(),
+        "ablation_block" => ablation_block(cfg).to_tsv(),
+        other => panic!("unknown figure id {other}"),
+    };
+    println!("{output}");
+}
+
+fn main() {
+    let (ids, cfg) = parse_args();
+    let all = [
+        "table1", "fig2a", "fig2b", "fig3a", "fig3b", "fig4a", "fig4b", "fig5a", "fig5b",
+        "fig6", "fig7a", "fig7b", "fig8a", "fig8b", "fig9a", "fig9b", "fig10", "fig11a",
+        "fig11b", "ablation_block",
+    ];
+    for id in &ids {
+        if id == "all" {
+            for id in all {
+                run(id, &cfg);
+            }
+        } else {
+            run(id, &cfg);
+        }
+    }
+}

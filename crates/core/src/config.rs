@@ -1,0 +1,143 @@
+//! Sizing, hashing and scaling policy of the tables (paper §5.3.1, §7).
+
+/// Default maximum fill factor before a growing migration is triggered
+/// (§7: "When the table is approximately 60% filled, a migration is
+/// started").
+pub const DEFAULT_GROW_THRESHOLD: f64 = 0.6;
+
+/// Default growth factor γ (§7: "With each migration, we double the
+/// capacity").
+pub const DEFAULT_GROWTH_FACTOR: usize = 2;
+
+/// Cell-block size used by the migration (§7: "The migration works in
+/// cell-blocks of the size 4096").
+pub const MIGRATION_BLOCK: usize = 4096;
+
+/// Number of probed cells after which an insertion gives up and reports a
+/// full table.  For correctly sized tables this is never reached; growing
+/// tables treat it as an additional growth trigger (safety net on top of
+/// the fill-factor trigger).
+pub const PROBE_LIMIT: usize = 8192;
+
+/// Compute the number of cells for an expected number of elements: the
+/// smallest power of two that is at least twice the expectation
+/// (§7: `2n ≤ size ≤ 4n`).
+pub fn capacity_for(expected_elements: usize) -> usize {
+    let min = expected_elements.max(2).saturating_mul(2);
+    min.next_power_of_two()
+}
+
+/// The default hash function of all tables in this crate: the splitmix64 /
+/// MurmurHash3 finalizer — a cheap bijective mixer.  The paper uses two
+/// hardware CRC32-C instructions instead; DESIGN.md documents the
+/// substitution (both are cheap, statistically uniform full-word hashes).
+#[inline]
+pub fn hash_key(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Map a full-width hash value to a cell index of a table with `capacity`
+/// cells using the *scaling* function of §5.3.1:
+/// `h_c(x) = ⌊h(x) · c / U⌋` with `U = 2⁶⁴`.
+///
+/// The mapping is monotone in the hash value, which is exactly the property
+/// Lemma 1 (cluster migration) relies on.  For power-of-two capacities it
+/// reduces to taking the most significant `log₂ c` bits.
+#[inline]
+pub fn scale_to_capacity(hash: u64, capacity: usize) -> usize {
+    ((hash as u128 * capacity as u128) >> 64) as usize
+}
+
+/// Configuration shared by every growing-table variant.
+#[derive(Debug, Clone, Copy)]
+pub struct GrowConfig {
+    /// Fill factor α at which a migration is triggered.
+    pub grow_threshold: f64,
+    /// Growth factor γ used when the live count justifies growing.
+    pub growth_factor: usize,
+    /// Migration block size in cells.
+    pub migration_block: usize,
+    /// Fraction of the capacity below which a cleanup migration shrinks the
+    /// table instead of keeping its size.
+    pub shrink_threshold: f64,
+}
+
+impl Default for GrowConfig {
+    fn default() -> Self {
+        GrowConfig {
+            grow_threshold: DEFAULT_GROW_THRESHOLD,
+            growth_factor: DEFAULT_GROWTH_FACTOR,
+            migration_block: MIGRATION_BLOCK,
+            shrink_threshold: 0.1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_has_headroom_and_power_of_two() {
+        for n in [1usize, 2, 3, 100, 4096, 5000, 1 << 20] {
+            let c = capacity_for(n);
+            assert!(c.is_power_of_two());
+            assert!(c >= 2 * n, "capacity {c} for {n}");
+            assert!(c <= 4 * n.max(1), "capacity {c} too large for {n}");
+        }
+    }
+
+    #[test]
+    fn scaling_is_monotone_and_in_range() {
+        let capacity = 1 << 16;
+        let mut last = 0usize;
+        for i in 0..1000u64 {
+            let h = i << 48; // increasing hash values
+            let cell = scale_to_capacity(h, capacity);
+            assert!(cell < capacity);
+            assert!(cell >= last, "scaling must be monotone");
+            last = cell;
+        }
+        assert_eq!(scale_to_capacity(u64::MAX, capacity), capacity - 1);
+        assert_eq!(scale_to_capacity(0, capacity), 0);
+    }
+
+    #[test]
+    fn scaling_matches_top_bits_for_power_of_two() {
+        let capacity = 1 << 20;
+        for x in [0u64, 1, 0xFFFF_FFFF_FFFF_FFFF, 0x1234_5678_9ABC_DEF0] {
+            let h = hash_key(x);
+            assert_eq!(scale_to_capacity(h, capacity), (h >> (64 - 20)) as usize);
+        }
+    }
+
+    #[test]
+    fn growing_preserves_scaled_order() {
+        // The property behind Lemma 1: growing by γ scales positions
+        // monotonically, i.e. h_c(x) ≤ h_c(y) implies h_{γc}(x) ≤ h_{γc}(y).
+        let c = 1 << 10;
+        let mut hashes: Vec<u64> = (0..4000u64).map(hash_key).collect();
+        hashes.sort_unstable();
+        let small: Vec<usize> = hashes.iter().map(|&h| scale_to_capacity(h, c)).collect();
+        let large: Vec<usize> = hashes.iter().map(|&h| scale_to_capacity(h, 2 * c)).collect();
+        for w in small.windows(2).zip(large.windows(2)) {
+            assert!(w.0[0] <= w.0[1]);
+            assert!(w.1[0] <= w.1[1]);
+        }
+        // And the target position lies inside [γ·pos, γ·(pos+1)).
+        for (&h, &pos) in hashes.iter().zip(&small) {
+            let target = scale_to_capacity(h, 2 * c);
+            assert!(target >= 2 * pos && target < 2 * (pos + 1));
+        }
+    }
+
+    #[test]
+    fn default_config_matches_paper_constants() {
+        let cfg = GrowConfig::default();
+        assert!((cfg.grow_threshold - 0.6).abs() < 1e-9);
+        assert_eq!(cfg.growth_factor, 2);
+        assert_eq!(cfg.migration_block, 4096);
+    }
+}

@@ -1,0 +1,242 @@
+//! Approximate element counting (paper §5.2).
+//!
+//! An exact, shared element counter would serialize every insertion on one
+//! cache line.  Instead each handle keeps local insertion/deletion counters
+//! and flushes them into the global counters `I` and `D` only every Θ(p)
+//! operations, with the flush threshold randomized to provably de-correlate
+//! the flushes.  `I` (the number of non-empty cells, i.e. insertions
+//! including tombstones) drives the growth trigger; `I − D` estimates the
+//! live size.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+/// Global approximate counters of a table generation.
+#[derive(Debug, Default)]
+pub struct GlobalCount {
+    /// Successful insertions (= number of non-empty cells, §5.4).
+    insertions: CachePadded<AtomicU64>,
+    /// Successful deletions (tombstones written).
+    deletions: CachePadded<AtomicU64>,
+}
+
+impl GlobalCount {
+    /// Create zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reset to the exact values produced by a finished migration
+    /// (`I = migrated live elements`, `D = 0`, §5.2).
+    pub fn reset_after_migration(&self, live_elements: u64) {
+        self.insertions.store(live_elements, Ordering::Release);
+        self.deletions.store(0, Ordering::Release);
+    }
+
+    /// Add a flushed batch of local counts.
+    #[inline]
+    pub fn flush(&self, insertions: u64, deletions: u64) -> u64 {
+        if deletions > 0 {
+            self.deletions.fetch_add(deletions, Ordering::AcqRel);
+        }
+        if insertions > 0 {
+            self.insertions.fetch_add(insertions, Ordering::AcqRel) + insertions
+        } else {
+            self.insertions.load(Ordering::Acquire)
+        }
+    }
+
+    /// Current global insertion count `I` (lower bound on non-empty cells).
+    #[inline]
+    pub fn insertions(&self) -> u64 {
+        self.insertions.load(Ordering::Acquire)
+    }
+
+    /// Current global deletion count `D`.
+    #[inline]
+    pub fn deletions(&self) -> u64 {
+        self.deletions.load(Ordering::Acquire)
+    }
+
+    /// Estimated number of live elements `S = I − D`.
+    #[inline]
+    pub fn live_estimate(&self) -> u64 {
+        self.insertions().saturating_sub(self.deletions())
+    }
+}
+
+/// Handle-local counter with randomized flush threshold (§5.2: "between 1
+/// and p").
+#[derive(Debug)]
+pub struct LocalCount {
+    pending_insertions: u32,
+    pending_deletions: u32,
+    threshold: u32,
+    /// Upper bound for the randomized threshold (≈ number of threads p).
+    threshold_bound: u32,
+    /// Cheap handle-local RNG state for re-randomizing the threshold.
+    rng_state: u64,
+}
+
+impl LocalCount {
+    /// Create a local counter for a table accessed by roughly
+    /// `threads` threads.
+    pub fn new(threads: usize, seed: u64) -> Self {
+        let bound = threads.clamp(1, u16::MAX as usize) as u32;
+        let mut counter = LocalCount {
+            pending_insertions: 0,
+            pending_deletions: 0,
+            threshold: 1,
+            threshold_bound: bound,
+            rng_state: seed | 1,
+        };
+        counter.rerandomize();
+        counter
+    }
+
+    fn rerandomize(&mut self) {
+        // xorshift64*; only needs to be cheap and decorrelated per handle.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        let r = x.wrapping_mul(0x2545F4914F6CDD1D) >> 32;
+        self.threshold = 1 + (r as u32 % self.threshold_bound);
+    }
+
+    /// Record one successful insertion.  Returns `Some((I_after, D))` if the
+    /// local counters were flushed into `global` (the caller then checks the
+    /// growth trigger), `None` otherwise.
+    #[inline]
+    pub fn record_insertion(&mut self, global: &GlobalCount) -> Option<(u64, u64)> {
+        self.pending_insertions += 1;
+        self.maybe_flush(global)
+    }
+
+    /// Record one successful deletion.
+    #[inline]
+    pub fn record_deletion(&mut self, global: &GlobalCount) -> Option<(u64, u64)> {
+        self.pending_deletions += 1;
+        self.maybe_flush(global)
+    }
+
+    #[inline]
+    fn maybe_flush(&mut self, global: &GlobalCount) -> Option<(u64, u64)> {
+        if self.pending_insertions + self.pending_deletions >= self.threshold {
+            Some(self.flush(global))
+        } else {
+            None
+        }
+    }
+
+    /// Force a flush of the pending local counts (called when a handle is
+    /// dropped or a migration begins).
+    pub fn flush(&mut self, global: &GlobalCount) -> (u64, u64) {
+        let i = global.flush(
+            u64::from(self.pending_insertions),
+            u64::from(self.pending_deletions),
+        );
+        self.pending_insertions = 0;
+        self.pending_deletions = 0;
+        self.rerandomize();
+        (i, global.deletions())
+    }
+
+    /// Number of operations currently buffered locally.
+    pub fn pending(&self) -> u32 {
+        self.pending_insertions + self.pending_deletions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flush_threshold_bounded_by_p() {
+        for p in [1usize, 2, 7, 48] {
+            for seed in 0..20u64 {
+                let c = LocalCount::new(p, seed);
+                assert!(c.threshold >= 1 && c.threshold <= p as u32, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_total_after_final_flush() {
+        let global = GlobalCount::new();
+        let mut locals: Vec<LocalCount> = (0..4).map(|i| LocalCount::new(4, i)).collect();
+        let mut expected_i = 0u64;
+        let mut expected_d = 0u64;
+        for step in 0..10_000 {
+            let l = &mut locals[step % 4];
+            if step % 5 == 0 {
+                l.record_deletion(&global);
+                expected_d += 1;
+            } else {
+                l.record_insertion(&global);
+                expected_i += 1;
+            }
+        }
+        for l in &mut locals {
+            l.flush(&global);
+        }
+        assert_eq!(global.insertions(), expected_i);
+        assert_eq!(global.deletions(), expected_d);
+        assert_eq!(global.live_estimate(), expected_i - expected_d);
+    }
+
+    #[test]
+    fn underestimate_bounded_by_p_squared() {
+        // The paper's bound: I underestimates the true count by at most
+        // O(p²) because every one of the p handles buffers at most p
+        // operations.
+        let p = 8;
+        let global = GlobalCount::new();
+        let mut locals: Vec<LocalCount> = (0..p).map(|i| LocalCount::new(p, i as u64)).collect();
+        let mut true_count = 0u64;
+        for round in 0..1000 {
+            for l in locals.iter_mut() {
+                l.record_insertion(&global);
+                true_count += 1;
+            }
+            let estimate = global.insertions();
+            assert!(
+                true_count - estimate <= (p * p) as u64,
+                "round {round}: estimate {estimate} true {true_count}"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_after_migration() {
+        let global = GlobalCount::new();
+        global.flush(100, 40);
+        assert_eq!(global.live_estimate(), 60);
+        global.reset_after_migration(60);
+        assert_eq!(global.insertions(), 60);
+        assert_eq!(global.deletions(), 0);
+        assert_eq!(global.live_estimate(), 60);
+    }
+
+    #[test]
+    fn concurrent_flushes_do_not_lose_counts() {
+        let global = std::sync::Arc::new(GlobalCount::new());
+        let per_thread = 50_000u64;
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let global = std::sync::Arc::clone(&global);
+                s.spawn(move || {
+                    let mut local = LocalCount::new(4, t);
+                    for _ in 0..per_thread {
+                        local.record_insertion(&global);
+                    }
+                    local.flush(&global);
+                });
+            }
+        });
+        assert_eq!(global.insertions(), 4 * per_thread);
+    }
+}

@@ -1,0 +1,1086 @@
+//! The growing hash table framework (paper §5, §7).
+//!
+//! A [`GrowingTable`] owns the current [`BoundedTable`] generation through a
+//! versioned counted pointer and replaces it by a migrated copy whenever the
+//! approximate fill estimate reaches the growth threshold (or an insertion
+//! runs out of probe budget).  The four variants evaluated in the paper are
+//! obtained by combining two orthogonal strategy choices (§5.3.2, §7):
+//!
+//! * **who migrates** — [`GrowStrategy::Enslave`]: user threads that touch
+//!   the table during a migration are recruited to pull migration blocks;
+//!   [`GrowStrategy::Pool`]: a dedicated pool of migration threads is woken
+//!   and application threads wait;
+//! * **how consistency is ensured** — [`Consistency::AsyncMarking`]: every
+//!   source cell is frozen with a mark bit before it is copied, writers
+//!   detect the mark and retry on the new table;
+//!   [`Consistency::Synchronized`]: a global growing flag plus per-handle
+//!   busy flags guarantee that no table operation overlaps the migration,
+//!   which allows plain fetch-and-add / store value updates.
+//!
+//! `uaGrow` = Enslave + AsyncMarking, `usGrow` = Enslave + Synchronized,
+//! `paGrow` = Pool + AsyncMarking, `psGrow` = Pool + Synchronized — see
+//! [`crate::variants`] for the public wrapper types.
+
+pub(crate) mod pool;
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use growt_reclaim::{CachedArc, VersionedArc};
+use parking_lot::Mutex;
+
+use crate::cell::MAX_MARKABLE_KEY;
+use crate::config::{capacity_for, GrowConfig};
+use crate::count::{GlobalCount, LocalCount};
+use crate::migrate::{migrate_block_exclusive, migrate_block_marking, migrate_block_rehash};
+use crate::table::{
+    BoundedTable, EraseOutcome, InsertOutcome, UpdateOutcome, UpsertOutcome,
+};
+
+use pool::{MigrationPool, PoolShared};
+
+/// Who performs the migration work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrowStrategy {
+    /// Recruit ("enslave") user threads that access the table (§5.3.2).
+    Enslave,
+    /// Use a dedicated pool of migration threads (§5.3.2).
+    Pool,
+}
+
+/// How consistency between table operations and the migration is ensured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Consistency {
+    /// Mark cells before copying them (asynchronous protocol).
+    AsyncMarking,
+    /// Exclude updates during migration with a growing flag and per-handle
+    /// busy flags ((semi-)synchronized protocol).
+    Synchronized,
+}
+
+/// Construction-time options of a [`GrowingTable`].
+#[derive(Debug, Clone)]
+pub struct GrowingOptions {
+    /// Who migrates.
+    pub strategy: GrowStrategy,
+    /// Consistency protocol.
+    pub consistency: Consistency,
+    /// Growth policy constants (fill factor, block size, …).
+    pub grow: GrowConfig,
+    /// Expected number of accessing threads `p`: sizes the migration pool
+    /// and the randomized counter flush threshold.
+    pub threads_hint: usize,
+    /// Wrap single-cell operations in simulated hardware transactions
+    /// (the `tsx*` variants of §6/§7).
+    pub use_htm: bool,
+}
+
+impl Default for GrowingOptions {
+    fn default() -> Self {
+        GrowingOptions {
+            strategy: GrowStrategy::Enslave,
+            consistency: Consistency::AsyncMarking,
+            grow: GrowConfig::default(),
+            threads_hint: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            use_htm: false,
+        }
+    }
+}
+
+/// Migration coordinator states.
+const STATE_IDLE: u64 = 0;
+const STATE_PREPARING: u64 = 1;
+const STATE_MIGRATING: u64 = 2;
+
+/// All shared, per-migration state.  Participants clone the `Arc`, so a
+/// straggler holding the job of an already finished migration simply finds
+/// its block counter exhausted and leaves without touching a newer
+/// migration.
+struct MigrationJob {
+    source: Arc<BoundedTable>,
+    target: Arc<BoundedTable>,
+    expected_version: u64,
+    next_block: AtomicUsize,
+    blocks_done: AtomicUsize,
+    total_blocks: usize,
+    block_size: usize,
+    migrated: AtomicU64,
+    /// `true` when the target is smaller than the source (shrink/cleanup
+    /// with rehash insertion instead of cluster migration).
+    rehash: bool,
+    /// `true` when source cells must be frozen (asynchronous protocol).
+    marking: bool,
+}
+
+struct Coordinator {
+    state: AtomicU64,
+    job: Mutex<Option<Arc<MigrationJob>>>,
+    /// Set while a synchronized migration excludes table operations.
+    growing_flag: AtomicBool,
+    /// Completed migrations (diagnostics / tests).
+    migrations_completed: AtomicU64,
+}
+
+/// Per-handle shared flags (registered with the table).
+struct HandleShared {
+    /// 1 while the owning handle executes a table operation (synchronized
+    /// protocol only).
+    busy: AtomicU64,
+    active: AtomicBool,
+}
+
+/// Everything shared between handles, pool workers and the owner.
+pub(crate) struct Inner {
+    current: VersionedArc<BoundedTable>,
+    counts: GlobalCount,
+    coordinator: Coordinator,
+    handles: Mutex<Vec<Arc<HandleShared>>>,
+    options: GrowingOptions,
+    htm: Option<growt_htm::HtmDomain>,
+    pool_shared: Mutex<Option<Arc<PoolShared>>>,
+    handle_seed: AtomicU64,
+}
+
+/// A concurrent linear-probing hash table with transparent growing,
+/// deletion with memory reclamation and approximate size counting.
+pub struct GrowingTable {
+    inner: Arc<Inner>,
+    _pool: Option<MigrationPool>,
+}
+
+impl GrowingTable {
+    /// Create a table with an initial capacity hint and the given options.
+    pub fn with_options(initial_capacity: usize, options: GrowingOptions) -> Self {
+        let capacity = capacity_for(initial_capacity.max(2));
+        let htm = options
+            .use_htm
+            .then(|| growt_htm::HtmDomain::new((capacity / 4).max(64)));
+        let inner = Arc::new(Inner {
+            current: VersionedArc::new(BoundedTable::with_cells(capacity, 1)),
+            counts: GlobalCount::new(),
+            coordinator: Coordinator {
+                state: AtomicU64::new(STATE_IDLE),
+                job: Mutex::new(None),
+                growing_flag: AtomicBool::new(false),
+                migrations_completed: AtomicU64::new(0),
+            },
+            handles: Mutex::new(Vec::new()),
+            options: options.clone(),
+            htm,
+            pool_shared: Mutex::new(None),
+            handle_seed: AtomicU64::new(0x9E3779B97F4A7C15),
+        });
+
+        let pool = if options.strategy == GrowStrategy::Pool {
+            let worker_inner = Arc::clone(&inner);
+            let pool = MigrationPool::spawn(options.threads_hint, move || {
+                worker_inner.participate();
+            });
+            *inner.pool_shared.lock() = Some(pool.shared());
+            Some(pool)
+        } else {
+            None
+        };
+
+        GrowingTable { inner, _pool: pool }
+    }
+
+    /// Create a table with the default (uaGrow) options.
+    pub fn new(initial_capacity: usize) -> Self {
+        Self::with_options(initial_capacity, GrowingOptions::default())
+    }
+
+    /// Obtain a per-thread handle.
+    pub fn handle(&self) -> GrowHandle<'_> {
+        GrowHandle::new(&self.inner)
+    }
+
+    /// Number of completed migrations (growth, cleanup or shrink steps).
+    pub fn migrations_completed(&self) -> u64 {
+        self.inner
+            .coordinator
+            .migrations_completed
+            .load(Ordering::Acquire)
+    }
+
+    /// Capacity of the current table generation.
+    pub fn current_capacity(&self) -> usize {
+        self.inner.current.with_current(|t| t.capacity())
+    }
+
+    /// Approximate number of live elements (`I − D`, §5.2).
+    pub fn size_estimate(&self) -> usize {
+        self.inner.counts.live_estimate() as usize
+    }
+
+    /// Exact number of live elements, valid only in the absence of
+    /// concurrent modifications (§5.2: exact counting variant).
+    pub fn size_exact_quiescent(&self) -> usize {
+        self.inner.current.with_current(|t| t.scan_counts().0)
+    }
+
+    /// Transaction statistics of the simulated-HTM fast path, if enabled.
+    pub fn htm_stats(&self) -> Option<(u64, u64, u64)> {
+        self.inner.htm.as_ref().map(|h| h.stats.snapshot())
+    }
+
+    /// The options this table was constructed with.
+    pub fn options(&self) -> &GrowingOptions {
+        &self.inner.options
+    }
+}
+
+impl Inner {
+    fn marking(&self) -> bool {
+        self.options.consistency == Consistency::AsyncMarking
+    }
+
+    fn synchronized(&self) -> bool {
+        self.options.consistency == Consistency::Synchronized
+    }
+
+    // -----------------------------------------------------------------
+    // Migration control
+    // -----------------------------------------------------------------
+
+    /// Request that the table observed at `observed_version` with
+    /// `observed_capacity` cells be replaced, then help or wait until it
+    /// has been.
+    fn grow(&self, observed_version: u64, handle_shared: &HandleShared) {
+        // Stale trigger: someone already replaced the table.
+        if self.current.version() != observed_version {
+            return;
+        }
+        match self.coordinator.state.compare_exchange(
+            STATE_IDLE,
+            STATE_PREPARING,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {
+                // Leader path.  Re-check staleness now that we own the lock.
+                if self.current.version() != observed_version {
+                    self.coordinator.state.store(STATE_IDLE, Ordering::Release);
+                    return;
+                }
+                self.prepare_migration(observed_version, handle_shared);
+                if let Some(pool) = self.pool_shared.lock().as_ref() {
+                    pool.signal_migration();
+                }
+                match self.options.strategy {
+                    GrowStrategy::Enslave => self.participate(),
+                    GrowStrategy::Pool => {}
+                }
+                self.wait_until_replaced(observed_version);
+            }
+            Err(_) => {
+                self.help_or_wait(observed_version);
+            }
+        }
+    }
+
+    /// Leader-only: allocate the target table and publish the migration job.
+    fn prepare_migration(&self, expected_version: u64, leader: &HandleShared) {
+        if self.synchronized() {
+            // RCU-style exclusion (§5.3.2): raise the growing flag, then
+            // wait until every registered handle has been observed outside
+            // a table operation at least once.  The leader's own handle is
+            // exempt (it cleared its busy flag before calling grow()).
+            self.coordinator.growing_flag.store(true, Ordering::SeqCst);
+            let handles = self.handles.lock().clone();
+            for shared in handles.iter() {
+                if std::ptr::eq(shared.as_ref(), leader) {
+                    continue;
+                }
+                while shared.active.load(Ordering::Acquire)
+                    && shared.busy.load(Ordering::SeqCst) != 0
+                {
+                    std::thread::yield_now();
+                }
+            }
+        }
+
+        let (source, version) = self.current.acquire();
+        debug_assert_eq!(version, expected_version);
+        let live = self.counts.live_estimate() as usize;
+        let old_capacity = source.capacity();
+        // Desired capacity from the live estimate (2·live … 4·live cells);
+        // never shrink below a small minimum so tiny tables stay cheap to
+        // migrate.
+        let desired = capacity_for(live.max(1)).max(64);
+        let new_capacity = if desired > old_capacity {
+            // Grow by at least the configured factor.
+            desired.max(old_capacity * self.options.grow.growth_factor)
+        } else if (live as f64) < self.options.grow.shrink_threshold * old_capacity as f64
+            && desired < old_capacity
+        {
+            desired // shrink
+        } else {
+            old_capacity // cleanup migration (γ = 1): drop tombstones only
+        };
+
+        let block_size = self.options.grow.migration_block;
+        let total_blocks = old_capacity.div_ceil(block_size);
+        let target = Arc::new(BoundedTable::with_cells(new_capacity, version + 1));
+        let job = Arc::new(MigrationJob {
+            source,
+            target,
+            expected_version: version,
+            next_block: AtomicUsize::new(0),
+            blocks_done: AtomicUsize::new(0),
+            total_blocks,
+            block_size,
+            migrated: AtomicU64::new(0),
+            rehash: new_capacity < old_capacity,
+            marking: self.marking(),
+        });
+        *self.coordinator.job.lock() = Some(job);
+        self.coordinator
+            .state
+            .store(STATE_MIGRATING, Ordering::Release);
+    }
+
+    /// Pull migration blocks until none are left; the participant that
+    /// completes the last block finalizes the migration.
+    pub(crate) fn participate(&self) {
+        let job = {
+            let guard = self.coordinator.job.lock();
+            match guard.as_ref() {
+                Some(job) => Arc::clone(job),
+                None => return,
+            }
+        };
+        let capacity = job.source.capacity();
+        loop {
+            let block = job.next_block.fetch_add(1, Ordering::AcqRel);
+            if block >= job.total_blocks {
+                return;
+            }
+            let start = block * job.block_size;
+            let end = ((block + 1) * job.block_size).min(capacity);
+            let migrated = if job.rehash {
+                migrate_block_rehash(&job.source, &job.target, start, end, job.marking)
+            } else if job.marking {
+                migrate_block_marking(&job.source, &job.target, start, end)
+            } else {
+                migrate_block_exclusive(&job.source, &job.target, start, end)
+            };
+            job.migrated.fetch_add(migrated as u64, Ordering::AcqRel);
+            let done = job.blocks_done.fetch_add(1, Ordering::AcqRel) + 1;
+            if done == job.total_blocks {
+                self.recover_if_degenerate(&job);
+                self.finalize(&job);
+                return;
+            }
+        }
+    }
+
+    /// Degenerate-case recovery: if the source table had **no empty cell at
+    /// all** (possible when inserts race ahead of a lagging growth trigger
+    /// and fill the table completely), the cluster migration finds no
+    /// cluster *start* anywhere — every block owner defers to "an earlier
+    /// block" — and nothing is copied.  Lemma 1 presupposes at least one
+    /// empty cell, so this cannot happen in the paper's α ≤ 0.6 regime, but
+    /// the implementation must not lose data when it does.  The last
+    /// participant detects `migrated == 0` with a non-empty source and
+    /// re-migrates everything with CAS re-insertion.
+    fn recover_if_degenerate(&self, job: &Arc<MigrationJob>) {
+        if job.rehash || job.migrated.load(Ordering::Acquire) != 0 {
+            return;
+        }
+        let (live, _, _) = job.source.scan_counts();
+        if live == 0 {
+            return;
+        }
+        let recovered = migrate_block_rehash(
+            &job.source,
+            &job.target,
+            0,
+            job.source.capacity(),
+            job.marking,
+        );
+        job.migrated.fetch_add(recovered as u64, Ordering::AcqRel);
+    }
+
+    fn finalize(&self, job: &Arc<MigrationJob>) {
+        // All blocks are migrated: no writer can still succeed on the old
+        // table (every cell is frozen under the marking protocol; under the
+        // synchronized protocol the growing flag excludes writers), so the
+        // counters can be reset before the new table becomes visible.
+        self.counts
+            .reset_after_migration(job.migrated.load(Ordering::Acquire));
+        self.current
+            .publish_if(job.expected_version, Arc::clone(&job.target))
+            .expect("a migration job can only be finalized once");
+        *self.coordinator.job.lock() = None;
+        self.coordinator.growing_flag.store(false, Ordering::SeqCst);
+        self.coordinator
+            .migrations_completed
+            .fetch_add(1, Ordering::AcqRel);
+        self.coordinator.state.store(STATE_IDLE, Ordering::Release);
+    }
+
+    /// Help with (enslavement) or wait for (pool) an in-flight migration of
+    /// the table version `observed_version`.
+    fn help_or_wait(&self, observed_version: u64) {
+        match self.options.strategy {
+            GrowStrategy::Enslave => {
+                // The job may not be published yet (leader still preparing);
+                // spin until there is something to do or the table changed.
+                loop {
+                    if self.current.version() != observed_version {
+                        return;
+                    }
+                    let state = self.coordinator.state.load(Ordering::Acquire);
+                    match state {
+                        STATE_MIGRATING => {
+                            self.participate();
+                            self.wait_until_replaced(observed_version);
+                            return;
+                        }
+                        STATE_IDLE => return,
+                        _ => std::hint::spin_loop(),
+                    }
+                }
+            }
+            GrowStrategy::Pool => self.wait_until_replaced(observed_version),
+        }
+    }
+
+    fn wait_until_replaced(&self, observed_version: u64) {
+        let mut spins = 0u32;
+        while self.current.version() == observed_version
+            && self.coordinator.state.load(Ordering::Acquire) != STATE_IDLE
+        {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    fn register_handle(&self) -> Arc<HandleShared> {
+        let shared = Arc::new(HandleShared {
+            busy: AtomicU64::new(0),
+            active: AtomicBool::new(true),
+        });
+        self.handles.lock().push(Arc::clone(&shared));
+        shared
+    }
+
+    fn deregister_handle(&self, shared: &Arc<HandleShared>) {
+        shared.active.store(false, Ordering::Release);
+        shared.busy.store(0, Ordering::Release);
+        let mut handles = self.handles.lock();
+        handles.retain(|h| !Arc::ptr_eq(h, shared));
+    }
+}
+
+/// Per-thread handle of a [`GrowingTable`] (§5.1).
+pub struct GrowHandle<'a> {
+    inner: &'a Inner,
+    cached: CachedArc<BoundedTable>,
+    local: LocalCount,
+    shared: Arc<HandleShared>,
+}
+
+impl<'a> GrowHandle<'a> {
+    fn new(inner: &'a Inner) -> Self {
+        let seed = inner.handle_seed.fetch_add(0x9E37_79B9, Ordering::Relaxed);
+        GrowHandle {
+            cached: CachedArc::new(&inner.current),
+            local: LocalCount::new(inner.options.threads_hint, seed),
+            shared: inner.register_handle(),
+            inner,
+        }
+    }
+
+    /// Refresh the cached table pointer; pending local counts that belong
+    /// to an already migrated generation are discarded (the migration
+    /// counted those elements exactly).
+    #[inline]
+    fn table(&mut self) -> Arc<BoundedTable> {
+        let (table, refreshed) = self.cached.get(&self.inner.current);
+        if refreshed {
+            self.local = LocalCount::new(
+                self.inner.options.threads_hint,
+                self.inner.handle_seed.fetch_add(0x9E37_79B9, Ordering::Relaxed),
+            );
+        }
+        Arc::clone(table)
+    }
+
+    /// Synchronized-protocol prologue: announce the operation and make sure
+    /// no migration is running.  No-op for the marking protocol.
+    #[inline]
+    fn begin_op(&mut self) {
+        if !self.inner.synchronized() {
+            return;
+        }
+        loop {
+            self.shared.busy.store(1, Ordering::SeqCst);
+            if self.inner.coordinator.growing_flag.load(Ordering::SeqCst) {
+                self.shared.busy.store(0, Ordering::SeqCst);
+                let version = self.cached.cached_version();
+                self.inner.help_or_wait(version);
+                continue;
+            }
+            break;
+        }
+    }
+
+    #[inline]
+    fn end_op(&mut self) {
+        if self.inner.synchronized() {
+            self.shared.busy.store(0, Ordering::Release);
+        }
+    }
+
+    /// Handle a successful insertion: update the approximate count and
+    /// trigger a migration when the fill threshold is reached.
+    #[inline]
+    fn after_insert(&mut self, capacity: usize, version: u64) {
+        if let Some((insertions, _)) = self.local.record_insertion(&self.inner.counts) {
+            let threshold = self.inner.options.grow.grow_threshold * capacity as f64;
+            if insertions as f64 >= threshold {
+                self.inner.grow(version, &self.shared);
+            }
+        }
+    }
+
+    #[inline]
+    fn after_delete(&mut self) {
+        self.local.record_deletion(&self.inner.counts);
+    }
+
+    /// Execute `op` under the (optional) simulated-HTM speculative path.
+    #[inline]
+    fn with_htm<R>(&self, table: &BoundedTable, key: u64, op: impl Fn() -> R) -> R {
+        match &self.inner.htm {
+            Some(htm) => {
+                // One conflict-detection stripe per 4 cells (≈ one cache line).
+                let line = table.home_cell(key) >> 2;
+                let (result, _) = htm.execute(line, &op, &op);
+                result
+            }
+            None => op(),
+        }
+    }
+
+    /// Insert `⟨k, v⟩`; returns `true` iff the key was not present.
+    pub fn insert(&mut self, key: u64, value: u64) -> bool {
+        assert!(key >= 2 && key <= MAX_MARKABLE_KEY, "key {key} is reserved");
+        loop {
+            self.begin_op();
+            let table = self.table();
+            let outcome = self.with_htm(&table, key, || table.insert(key, value));
+            self.end_op();
+            match outcome {
+                InsertOutcome::Inserted { .. } => {
+                    self.after_insert(table.capacity(), table.version());
+                    return true;
+                }
+                InsertOutcome::AlreadyPresent => return false,
+                InsertOutcome::Full => {
+                    self.inner.grow(table.version(), &self.shared);
+                }
+                InsertOutcome::Migrating => {
+                    self.inner.help_or_wait(table.version());
+                }
+            }
+        }
+    }
+
+    /// Find the value stored for `key`.
+    pub fn find(&mut self, key: u64) -> Option<u64> {
+        // Reads never help with migrations and never write; they may run on
+        // a slightly stale table generation, which is linearizable because
+        // the retired generation is immutable (all cells frozen) from the
+        // moment the new generation becomes visible.
+        let table = self.table();
+        table.find(key)
+    }
+
+    /// Update the element at `key` to `up(current, d)`.
+    pub fn update(&mut self, key: u64, d: u64, up: impl Fn(u64, u64) -> u64 + Copy) -> bool {
+        loop {
+            self.begin_op();
+            let table = self.table();
+            let outcome = self.with_htm(&table, key, || table.update_with(key, d, up));
+            self.end_op();
+            match outcome {
+                UpdateOutcome::Updated => return true,
+                UpdateOutcome::NotFound => return false,
+                UpdateOutcome::Migrating => self.inner.help_or_wait(table.version()),
+            }
+        }
+    }
+
+    /// Overwrite the value at `key`.  Under the synchronized protocol this
+    /// uses a plain atomic store (the specialization discussed in §4/§8.4);
+    /// under the marking protocol it must go through the full-cell CAS.
+    pub fn update_overwrite(&mut self, key: u64, value: u64) -> bool {
+        if self.inner.synchronized() {
+            self.begin_op();
+            let table = self.table();
+            let outcome = table.update_overwrite_unsynchronized(key, value);
+            self.end_op();
+            outcome == UpdateOutcome::Updated
+        } else {
+            self.update(key, value, |_cur, new| new)
+        }
+    }
+
+    /// Insert `⟨key, d⟩` or update the stored value to `up(current, d)`.
+    /// Returns `true` iff a new element was inserted.
+    pub fn insert_or_update(
+        &mut self,
+        key: u64,
+        d: u64,
+        up: impl Fn(u64, u64) -> u64 + Copy,
+    ) -> bool {
+        assert!(key >= 2 && key <= MAX_MARKABLE_KEY, "key {key} is reserved");
+        loop {
+            self.begin_op();
+            let table = self.table();
+            let outcome = self.with_htm(&table, key, || table.upsert_with(key, d, up));
+            self.end_op();
+            match outcome {
+                UpsertOutcome::Inserted => {
+                    self.after_insert(table.capacity(), table.version());
+                    return true;
+                }
+                UpsertOutcome::Updated => return false,
+                UpsertOutcome::Full => self.inner.grow(table.version(), &self.shared),
+                UpsertOutcome::Migrating => self.inner.help_or_wait(table.version()),
+            }
+        }
+    }
+
+    /// Insert-or-increment with the fetch-and-add fast path where the
+    /// protocol allows it (§8.4, aggregation benchmark).
+    pub fn insert_or_increment(&mut self, key: u64, d: u64) -> bool {
+        if self.inner.synchronized() {
+            assert!(key >= 2 && key <= MAX_MARKABLE_KEY, "key {key} is reserved");
+            loop {
+                self.begin_op();
+                let table = self.table();
+                let outcome = table.upsert_fetch_add_unsynchronized(key, d);
+                self.end_op();
+                match outcome {
+                    UpsertOutcome::Inserted => {
+                        self.after_insert(table.capacity(), table.version());
+                        return true;
+                    }
+                    UpsertOutcome::Updated => return false,
+                    UpsertOutcome::Full => self.inner.grow(table.version(), &self.shared),
+                    UpsertOutcome::Migrating => self.inner.help_or_wait(table.version()),
+                }
+            }
+        } else {
+            self.insert_or_update(key, d, |cur, add| cur.wrapping_add(add))
+        }
+    }
+
+    /// Delete `key` (tombstone + eventual cleanup migration, §5.4).
+    pub fn erase(&mut self, key: u64) -> bool {
+        loop {
+            self.begin_op();
+            let table = self.table();
+            let outcome = table.erase(key);
+            self.end_op();
+            match outcome {
+                EraseOutcome::Erased => {
+                    self.after_delete();
+                    return true;
+                }
+                EraseOutcome::NotFound => return false,
+                EraseOutcome::Migrating => self.inner.help_or_wait(table.version()),
+            }
+        }
+    }
+
+    /// Approximate number of live elements.
+    pub fn size_estimate(&mut self) -> usize {
+        self.inner.counts.live_estimate() as usize
+    }
+
+    /// Flush the handle's buffered counter contributions.
+    pub fn flush_counts(&mut self) {
+        self.local.flush(&self.inner.counts);
+    }
+}
+
+impl Drop for GrowHandle<'_> {
+    fn drop(&mut self) {
+        self.local.flush(&self.inner.counts);
+        self.inner.deregister_handle(&self.shared);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn options(strategy: GrowStrategy, consistency: Consistency) -> GrowingOptions {
+        GrowingOptions {
+            strategy,
+            consistency,
+            threads_hint: 4,
+            ..GrowingOptions::default()
+        }
+    }
+
+    fn all_variants() -> Vec<(&'static str, GrowingOptions)> {
+        vec![
+            ("uaGrow", options(GrowStrategy::Enslave, Consistency::AsyncMarking)),
+            ("usGrow", options(GrowStrategy::Enslave, Consistency::Synchronized)),
+            ("paGrow", options(GrowStrategy::Pool, Consistency::AsyncMarking)),
+            ("psGrow", options(GrowStrategy::Pool, Consistency::Synchronized)),
+        ]
+    }
+
+    #[test]
+    fn grows_from_tiny_capacity_single_thread() {
+        for (name, opts) in all_variants() {
+            let table = GrowingTable::with_options(16, opts);
+            let mut handle = table.handle();
+            let n = 20_000u64;
+            for k in 2..2 + n {
+                assert!(handle.insert(k, k * 3), "{name}: insert {k}");
+            }
+            assert!(table.migrations_completed() > 0, "{name}: never migrated");
+            assert!(table.current_capacity() >= 2 * n as usize, "{name}");
+            for k in 2..2 + n {
+                assert_eq!(handle.find(k), Some(k * 3), "{name}: find {k}");
+            }
+            assert_eq!(table.size_exact_quiescent(), n as usize, "{name}");
+            // The approximate count is close to the truth once flushed.
+            handle.flush_counts();
+            let estimate = handle.size_estimate();
+            assert!(
+                (estimate as i64 - n as i64).abs() <= 64,
+                "{name}: estimate {estimate} vs {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_growth_preserves_all_elements() {
+        for (name, opts) in all_variants() {
+            let table = GrowingTable::with_options(64, opts);
+            let threads = 4u64;
+            let per_thread = 8_000u64;
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let table = &table;
+                    s.spawn(move || {
+                        let mut handle = table.handle();
+                        for i in 0..per_thread {
+                            let key = 2 + t * per_thread + i;
+                            assert!(handle.insert(key, key), "{name}");
+                        }
+                    });
+                }
+            });
+            let total = (threads * per_thread) as usize;
+            assert_eq!(table.size_exact_quiescent(), total, "{name}: lost elements");
+            let mut handle = table.handle();
+            for key in 2..2 + threads * per_thread {
+                assert_eq!(handle.find(key), Some(key), "{name}: find {key}");
+            }
+            assert!(table.migrations_completed() >= 5, "{name}: too few migrations");
+        }
+    }
+
+    #[test]
+    fn duplicate_inserts_have_exactly_one_winner_across_growth() {
+        for (name, opts) in all_variants() {
+            let table = GrowingTable::with_options(32, opts);
+            let successes = AtomicU64::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let table = &table;
+                    let successes = &successes;
+                    s.spawn(move || {
+                        let mut handle = table.handle();
+                        for key in 2..4_002u64 {
+                            if handle.insert(key, key) {
+                                successes.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    });
+                }
+            });
+            assert_eq!(successes.load(Ordering::Relaxed), 4_000, "{name}");
+            assert_eq!(table.size_exact_quiescent(), 4_000, "{name}");
+        }
+    }
+
+    #[test]
+    fn aggregation_is_exact_across_growth() {
+        for (name, opts) in all_variants() {
+            let table = GrowingTable::with_options(16, opts);
+            let threads = 4u64;
+            let per_thread = 10_000u64;
+            let distinct = 500u64;
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let table = &table;
+                    s.spawn(move || {
+                        let mut handle = table.handle();
+                        for i in 0..per_thread {
+                            let key = 2 + (i.wrapping_mul(t + 1)) % distinct;
+                            handle.insert_or_increment(key, 1);
+                        }
+                    });
+                }
+            });
+            let mut handle = table.handle();
+            let mut total = 0u64;
+            for key in 2..2 + distinct {
+                total += handle.find(key).unwrap_or(0);
+            }
+            // No duplicate copies of a key may survive a migration.
+            assert_eq!(
+                table.size_exact_quiescent(),
+                distinct as usize,
+                "{name}: duplicate keys in table"
+            );
+            assert_eq!(total, threads * per_thread, "{name}: lost increments");
+        }
+    }
+
+    #[test]
+    fn deletion_triggers_cleanup_and_reclaims_cells() {
+        let opts = options(GrowStrategy::Enslave, Consistency::AsyncMarking);
+        let table = GrowingTable::with_options(1 << 12, opts);
+        let mut handle = table.handle();
+        let window = 2_000u64;
+        // Insert/delete far more elements than the capacity could hold if
+        // tombstones were never cleaned up.
+        for i in 0..40_000u64 {
+            let key = 2 + i;
+            assert!(handle.insert(key, key));
+            if i >= window {
+                assert!(handle.erase(key - window), "erase {}", key - window);
+            }
+        }
+        assert!(table.migrations_completed() > 0, "cleanup migration never ran");
+        // The live window is intact.
+        for i in 40_000 - window..40_000 {
+            assert_eq!(handle.find(2 + i), Some(2 + i));
+        }
+        assert_eq!(table.size_exact_quiescent(), window as usize);
+        // The capacity stayed bounded (tombstones were reclaimed, not
+        // accumulated).
+        assert!(
+            table.current_capacity() <= 1 << 14,
+            "capacity exploded: {}",
+            table.current_capacity()
+        );
+    }
+
+    #[test]
+    fn update_overwrite_and_fetch_add_under_growth() {
+        for (name, opts) in all_variants() {
+            let table = GrowingTable::with_options(64, opts);
+            let mut handle = table.handle();
+            for key in 2..1_002u64 {
+                handle.insert(key, 0);
+            }
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let table = &table;
+                    s.spawn(move || {
+                        let mut handle = table.handle();
+                        for round in 0..5u64 {
+                            for key in 2..1_002u64 {
+                                handle.update(key, round, |cur, d| cur.max(d));
+                            }
+                        }
+                    });
+                }
+            });
+            let mut handle = table.handle();
+            for key in 2..1_002u64 {
+                assert_eq!(handle.find(key), Some(4), "{name}: key {key}");
+            }
+            assert!(handle.update_overwrite(500, 99), "{name}");
+            assert_eq!(handle.find(500), Some(99), "{name}");
+            assert!(!handle.update_overwrite(1_000_000, 1), "{name}");
+        }
+    }
+
+    #[test]
+    fn finds_remain_consistent_during_growth() {
+        let opts = options(GrowStrategy::Enslave, Consistency::AsyncMarking);
+        let table = GrowingTable::with_options(32, opts);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            // Writer thread keeps inserting, forcing repeated migrations.
+            let writer_table = &table;
+            let stop_ref = &stop;
+            s.spawn(move || {
+                let mut handle = writer_table.handle();
+                for key in 2..30_002u64 {
+                    handle.insert(key, key);
+                }
+                stop_ref.store(true, Ordering::Release);
+            });
+            // Reader threads continuously verify already-inserted prefixes.
+            for _ in 0..2 {
+                let table = &table;
+                let stop_ref = &stop;
+                s.spawn(move || {
+                    let mut handle = table.handle();
+                    let mut verified_until = 2u64;
+                    while !stop_ref.load(Ordering::Acquire) {
+                        // Everything below the verified frontier must stay
+                        // visible (no lost elements during migration).  The
+                        // writer inserts keys in increasing order, so seeing
+                        // the key *at* the next frontier proves every key
+                        // below it has been inserted.
+                        for key in 2..verified_until {
+                            assert_eq!(handle.find(key), Some(key), "lost key {key}");
+                        }
+                        if handle.find(verified_until + 500).is_some() {
+                            verified_until += 500;
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(table.size_exact_quiescent(), 30_000);
+    }
+
+    #[test]
+    fn htm_variant_works_and_records_stats() {
+        let mut opts = options(GrowStrategy::Enslave, Consistency::AsyncMarking);
+        opts.use_htm = true;
+        let table = GrowingTable::with_options(64, opts);
+        let mut handle = table.handle();
+        for key in 2..5_002u64 {
+            assert!(handle.insert(key, key));
+        }
+        for key in 2..5_002u64 {
+            assert_eq!(handle.find(key), Some(key));
+        }
+        let (commits, _aborts, fallbacks) = table.htm_stats().unwrap();
+        assert!(commits + fallbacks >= 5_000);
+    }
+
+    #[test]
+    fn reserved_keys_are_rejected() {
+        let table = GrowingTable::new(16);
+        let mut handle = table.handle();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle.insert(0, 1);
+        }));
+        assert!(result.is_err());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle.insert(crate::cell::MARK_BIT, 1);
+        }));
+        assert!(result.is_err());
+    }
+// appended temporarily to grow/mod.rs tests
+    #[test]
+    fn pool_variant_pure_updates_during_prefill_growth() {
+        // Pure updates on a prefilled table that still migrates once.
+        let opts = options(GrowStrategy::Pool, Consistency::AsyncMarking);
+        let table = GrowingTable::with_options(16, opts);
+        {
+            let mut h = table.handle();
+            for key in 2..502u64 {
+                h.insert(key, 0);
+            }
+        }
+        let threads = 4u64;
+        let per_thread = 10_000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let table = &table;
+                s.spawn(move || {
+                    let mut handle = table.handle();
+                    for i in 0..per_thread {
+                        let key = 2 + (i.wrapping_mul(t + 1)) % 500;
+                        assert!(handle.update(key, 1, |c, d| c + d));
+                    }
+                });
+            }
+        });
+        let mut handle = table.handle();
+        let total: u64 = (2..502u64).map(|k| handle.find(k).unwrap()).sum();
+        assert_eq!(total, threads * per_thread, "pa update-only lost increments");
+    }
+
+    #[test]
+    fn pool_variant_aggregation_without_migration() {
+        // Same aggregation but table pre-sized: no migration can run.
+        let opts = options(GrowStrategy::Pool, Consistency::AsyncMarking);
+        let table = GrowingTable::with_options(1 << 14, opts);
+        let threads = 4u64;
+        let per_thread = 10_000u64;
+        let distinct = 500u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let table = &table;
+                s.spawn(move || {
+                    let mut handle = table.handle();
+                    for i in 0..per_thread {
+                        let key = 2 + (i.wrapping_mul(t + 1)) % distinct;
+                        handle.insert_or_increment(key, 1);
+                    }
+                });
+            }
+        });
+        let mut handle = table.handle();
+        let total: u64 = (2..2 + distinct).map(|k| handle.find(k).unwrap_or(0)).sum();
+        assert_eq!(total, threads * per_thread, "pa no-migration lost increments");
+    }
+
+
+    #[test]
+    // Regression test for the full-table migration recovery (a completely
+    // full source table used to be dropped entirely, losing increments).
+    fn pool_variant_aggregation_with_full_table_migration() {
+        let opts = options(GrowStrategy::Pool, Consistency::AsyncMarking);
+        let table = GrowingTable::with_options(16, opts);
+        let threads = 4u64;
+        let per_thread = 10_000u64;
+        let distinct = 500u64;
+        let inserted = AtomicU64::new(0);
+        let updated = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let table = &table;
+                let inserted = &inserted;
+                let updated = &updated;
+                s.spawn(move || {
+                    let mut handle = table.handle();
+                    for i in 0..per_thread {
+                        let key = 2 + (i.wrapping_mul(t + 1)) % distinct;
+                        if handle.insert_or_increment(key, 1) {
+                            inserted.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            updated.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        let mut handle = table.handle();
+        let total: u64 = (2..2 + distinct).map(|k| handle.find(k).unwrap_or(0)).sum();
+        assert_eq!(
+            inserted.load(Ordering::Relaxed) + updated.load(Ordering::Relaxed),
+            threads * per_thread
+        );
+        assert_eq!(table.size_exact_quiescent(), distinct as usize);
+        assert_eq!(total, threads * per_thread);
+    }
+
+}

@@ -1,0 +1,39 @@
+//! # growt-core
+//!
+//! Lock-free linear-probing hash tables with scalable, transparent growing —
+//! a Rust reproduction of the data structures from *"Concurrent Hash Tables:
+//! Fast and General?(!)"* (Maier, Sanders, Dementiev; PPoPP 2016).
+//!
+//! The crate provides, bottom-up:
+//!
+//! * [`cell`] — the 16-byte table cell manipulated with double-word CAS;
+//! * [`table`] — the bounded **folklore** table (§4): insert / find /
+//!   update / insert-or-update / tombstone deletion, all lock-free;
+//! * [`count`] — approximate size counting with handle-local counters (§5.2);
+//! * [`migrate`] — the cluster-based parallel migration (§5.3.1, Lemma 1);
+//! * [`grow`] — the growing table framework combining the enslavement/pool
+//!   and marking/synchronized strategies (§5.3.2);
+//! * [`variants`] — the public table types used in the evaluation:
+//!   `Folklore`, `TsxFolklore`, `UaGrow`, `UsGrow`, `PaGrow`, `PsGrow` (§7);
+//! * [`bulk`] — bulk construction and batched insertion (§5.5);
+//! * [`keyspace`] — restoring the full 64-bit key space (§5.6);
+//! * [`complex`] — complex (non-word) key support via indirection with
+//!   hash signatures (§5.7).
+
+#![warn(missing_docs)]
+
+pub mod bulk;
+pub mod cell;
+pub mod complex;
+pub mod config;
+pub mod count;
+pub mod grow;
+pub mod keyspace;
+pub mod migrate;
+pub mod table;
+pub mod variants;
+
+pub use config::{capacity_for, GrowConfig};
+pub use grow::{Consistency, GrowHandle, GrowStrategy, GrowingOptions, GrowingTable};
+pub use table::BoundedTable;
+pub use variants::{Folklore, PaGrow, PsGrow, TsxFolklore, UaGrow, UsGrow};

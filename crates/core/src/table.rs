@@ -1,0 +1,613 @@
+//! The bounded, lock-free linear-probing table (the *folklore* solution,
+//! paper §4).
+//!
+//! [`BoundedTable`] is a fixed-capacity circular array of 128-bit
+//! [`Cell`]s.  All modifications go through double-word CAS (or the
+//! specialised single-word fast paths where the growing protocol allows
+//! them); `find` performs no writes at all.  This type is used directly as
+//! the non-growing `folklore` table of the evaluation and as the building
+//! block of every growing variant (§5): the growing table owns a current
+//! `BoundedTable` and migrates it into a larger one when it fills up.
+
+use crate::cell::{is_marked, unmark, Cell, DEL_KEY, EMPTY_KEY, MARK_BIT};
+use crate::config::{capacity_for, hash_key, scale_to_capacity, PROBE_LIMIT};
+
+/// Outcome of an insertion attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// A new element was inserted after probing `probe` cells.
+    Inserted {
+        /// Number of cells inspected before the insertion succeeded.
+        probe: usize,
+    },
+    /// An element with this key already exists (possibly as a frozen,
+    /// marked cell).
+    AlreadyPresent,
+    /// The probe limit was reached — the table is (locally) full.
+    Full,
+    /// A marked cell was encountered: a migration is in progress and the
+    /// operation must be retried on the new table.
+    Migrating,
+}
+
+/// Outcome of an update attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateOutcome {
+    /// The stored value was updated.
+    Updated,
+    /// No element with this key exists.
+    NotFound,
+    /// A marked cell was encountered; retry on the new table.
+    Migrating,
+}
+
+/// Outcome of an insert-or-update attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpsertOutcome {
+    /// The key was absent; a new element was inserted.
+    Inserted,
+    /// The key was present; its value was updated.
+    Updated,
+    /// The probe limit was reached.
+    Full,
+    /// A marked cell was encountered; retry on the new table.
+    Migrating,
+}
+
+/// Outcome of a deletion attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EraseOutcome {
+    /// The element was replaced by a tombstone.
+    Erased,
+    /// No element with this key exists.
+    NotFound,
+    /// A marked cell was encountered; retry on the new table.
+    Migrating,
+}
+
+/// A bounded lock-free linear probing hash table over word-sized keys and
+/// values (the folklore table of §4).
+pub struct BoundedTable {
+    cells: Box<[Cell]>,
+    capacity: usize,
+    /// Table generation (0 for standalone tables; growing tables stamp
+    /// every new table with an increasing version for diagnostics).
+    version: u64,
+}
+
+impl BoundedTable {
+    /// Create a table able to hold `expected_elements` elements with the
+    /// paper's sizing rule (capacity = smallest power of two ≥ 2·n).
+    pub fn with_expected_elements(expected_elements: usize) -> Self {
+        Self::with_cells(capacity_for(expected_elements), 0)
+    }
+
+    /// Create a table with exactly `capacity` cells (must be a power of
+    /// two) and the given generation number.
+    pub fn with_cells(capacity: usize, version: u64) -> Self {
+        assert!(capacity.is_power_of_two(), "capacity must be a power of two");
+        let cells: Box<[Cell]> = (0..capacity).map(|_| Cell::new()).collect();
+        BoundedTable {
+            cells,
+            capacity,
+            version,
+        }
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Table generation number.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Access a cell by index (used by the migration and by tests).
+    #[inline]
+    pub(crate) fn cell(&self, index: usize) -> &Cell {
+        &self.cells[index]
+    }
+
+    /// First cell index probed for `key`.
+    #[inline]
+    pub fn home_cell(&self, key: u64) -> usize {
+        scale_to_capacity(hash_key(key), self.capacity)
+    }
+
+    #[inline]
+    fn next_index(&self, index: usize) -> usize {
+        (index + 1) & (self.capacity - 1)
+    }
+
+    // ---------------------------------------------------------------------
+    // Lookup
+    // ---------------------------------------------------------------------
+
+    /// Find the value stored for `key`.  Never writes; tolerates torn reads
+    /// and marked cells (the value of a marked cell is frozen and therefore
+    /// valid to return).
+    pub fn find(&self, key: u64) -> Option<u64> {
+        debug_assert!(!crate::cell::is_sentinel(key));
+        let mut index = self.home_cell(key);
+        for _ in 0..self.capacity.min(PROBE_LIMIT) {
+            let cell = self.cell(index);
+            let stored_key = cell.load_key();
+            let plain = unmark(stored_key);
+            if plain == EMPTY_KEY {
+                return None;
+            }
+            if plain == key {
+                // Key read before value: a torn read can only observe the
+                // newest value for this key (§4).
+                return Some(cell.load_value());
+            }
+            index = self.next_index(index);
+        }
+        None
+    }
+
+    // ---------------------------------------------------------------------
+    // Insert
+    // ---------------------------------------------------------------------
+
+    /// Insert `⟨key, value⟩` if the key is not yet present.
+    pub fn insert(&self, key: u64, value: u64) -> InsertOutcome {
+        debug_assert!(!crate::cell::is_sentinel(key));
+        debug_assert_eq!(key & MARK_BIT, 0, "application keys must not use the mark bit");
+        let mut index = self.home_cell(key);
+        let limit = self.capacity.min(PROBE_LIMIT);
+        let mut probe = 0usize;
+        while probe < limit {
+            let cell = self.cell(index);
+            let stored_key = cell.load_key();
+            if stored_key == EMPTY_KEY {
+                match cell.cas_pair((EMPTY_KEY, 0), (key, value)) {
+                    Ok(()) => return InsertOutcome::Inserted { probe },
+                    // Somebody claimed this cell first; re-examine it (it
+                    // might now hold our key), cf. Algorithm 1 line 9.
+                    Err(_) => continue,
+                }
+            }
+            if is_marked(stored_key) && unmark(stored_key) == EMPTY_KEY {
+                return InsertOutcome::Migrating;
+            }
+            if unmark(stored_key) == key {
+                return InsertOutcome::AlreadyPresent;
+            }
+            index = self.next_index(index);
+            probe += 1;
+        }
+        InsertOutcome::Full
+    }
+
+    // ---------------------------------------------------------------------
+    // Updates
+    // ---------------------------------------------------------------------
+
+    /// Update the value of `key` to `up(current, d)` using a full-cell CAS
+    /// (mark-aware; safe under the asynchronous migration protocol).
+    pub fn update_with(&self, key: u64, d: u64, up: impl Fn(u64, u64) -> u64) -> UpdateOutcome {
+        debug_assert!(!crate::cell::is_sentinel(key));
+        let mut index = self.home_cell(key);
+        for _ in 0..self.capacity.min(PROBE_LIMIT) {
+            let cell = self.cell(index);
+            loop {
+                let (stored_key, stored_value) = cell.read();
+                if stored_key == EMPTY_KEY || (is_marked(stored_key) && unmark(stored_key) == EMPTY_KEY) {
+                    return UpdateOutcome::NotFound;
+                }
+                if is_marked(stored_key) && unmark(stored_key) == key {
+                    return UpdateOutcome::Migrating;
+                }
+                if stored_key == key {
+                    let new_value = up(stored_value, d);
+                    match cell.cas_pair((key, stored_value), (key, new_value)) {
+                        Ok(()) => return UpdateOutcome::Updated,
+                        // Lost a race: either a concurrent update (retry) or
+                        // a migration mark (detected on the next read).
+                        Err(_) => continue,
+                    }
+                }
+                break;
+            }
+            index = self.next_index(index);
+        }
+        UpdateOutcome::NotFound
+    }
+
+    /// Insert `⟨key, d⟩` or update an existing value to `up(current, d)`
+    /// using full-cell CAS (mark-aware).
+    pub fn upsert_with(&self, key: u64, d: u64, up: impl Fn(u64, u64) -> u64) -> UpsertOutcome {
+        debug_assert!(!crate::cell::is_sentinel(key));
+        let mut index = self.home_cell(key);
+        let limit = self.capacity.min(PROBE_LIMIT);
+        let mut probe = 0usize;
+        while probe < limit {
+            let cell = self.cell(index);
+            loop {
+                let (stored_key, stored_value) = cell.read();
+                if stored_key == EMPTY_KEY {
+                    match cell.cas_pair((EMPTY_KEY, 0), (key, d)) {
+                        Ok(()) => return UpsertOutcome::Inserted,
+                        Err(_) => continue,
+                    }
+                }
+                if is_marked(stored_key) {
+                    let plain = unmark(stored_key);
+                    if plain == EMPTY_KEY || plain == key {
+                        return UpsertOutcome::Migrating;
+                    }
+                    break;
+                }
+                if stored_key == key {
+                    let new_value = up(stored_value, d);
+                    match cell.cas_pair((key, stored_value), (key, new_value)) {
+                        Ok(()) => return UpsertOutcome::Updated,
+                        Err(_) => continue,
+                    }
+                }
+                break;
+            }
+            index = self.next_index(index);
+            probe += 1;
+        }
+        UpsertOutcome::Full
+    }
+
+    /// Overwrite the value of `key` with a single atomic store.
+    ///
+    /// Only legal under the *synchronized* growing protocol (§5.3.2), where
+    /// updates and migrations are mutually excluded, or in non-growing
+    /// tables; under the marking protocol this could resurrect a value in a
+    /// cell that has already been copied.
+    pub fn update_overwrite_unsynchronized(&self, key: u64, value: u64) -> UpdateOutcome {
+        let mut index = self.home_cell(key);
+        for _ in 0..self.capacity.min(PROBE_LIMIT) {
+            let cell = self.cell(index);
+            let stored_key = cell.load_key();
+            if unmark(stored_key) == EMPTY_KEY {
+                return UpdateOutcome::NotFound;
+            }
+            if unmark(stored_key) == key {
+                cell.store_value(value);
+                return UpdateOutcome::Updated;
+            }
+            index = self.next_index(index);
+        }
+        UpdateOutcome::NotFound
+    }
+
+    /// Insert `⟨key, d⟩` or add `d` to the existing value with a
+    /// fetch-and-add.
+    ///
+    /// Like [`BoundedTable::update_overwrite_unsynchronized`] this is only
+    /// legal when migrations cannot run concurrently (synchronized
+    /// protocol); it is the aggregation fast path of Fig. 5.
+    pub fn upsert_fetch_add_unsynchronized(&self, key: u64, d: u64) -> UpsertOutcome {
+        let mut index = self.home_cell(key);
+        let limit = self.capacity.min(PROBE_LIMIT);
+        let mut probe = 0usize;
+        while probe < limit {
+            let cell = self.cell(index);
+            let stored_key = cell.load_key();
+            if stored_key == EMPTY_KEY {
+                match cell.cas_pair((EMPTY_KEY, 0), (key, d)) {
+                    Ok(()) => return UpsertOutcome::Inserted,
+                    Err(_) => continue,
+                }
+            }
+            if unmark(stored_key) == key {
+                cell.fetch_add_value(d);
+                return UpsertOutcome::Updated;
+            }
+            index = self.next_index(index);
+            probe += 1;
+        }
+        UpsertOutcome::Full
+    }
+
+    // ---------------------------------------------------------------------
+    // Deletion
+    // ---------------------------------------------------------------------
+
+    /// Delete `key` by writing a tombstone (§5.4).  The value word is left
+    /// untouched so concurrent torn reads still observe the pre-deletion
+    /// element.
+    pub fn erase(&self, key: u64) -> EraseOutcome {
+        debug_assert!(!crate::cell::is_sentinel(key));
+        let mut index = self.home_cell(key);
+        for _ in 0..self.capacity.min(PROBE_LIMIT) {
+            let cell = self.cell(index);
+            loop {
+                let (stored_key, stored_value) = cell.read();
+                if stored_key == EMPTY_KEY || (is_marked(stored_key) && unmark(stored_key) == EMPTY_KEY) {
+                    return EraseOutcome::NotFound;
+                }
+                if is_marked(stored_key) && unmark(stored_key) == key {
+                    return EraseOutcome::Migrating;
+                }
+                if stored_key == key {
+                    match cell.cas_pair((key, stored_value), (DEL_KEY, stored_value)) {
+                        Ok(()) => return EraseOutcome::Erased,
+                        Err(_) => continue,
+                    }
+                }
+                break;
+            }
+            index = self.next_index(index);
+        }
+        EraseOutcome::NotFound
+    }
+
+    // ---------------------------------------------------------------------
+    // Whole-table helpers (migration, diagnostics, iteration)
+    // ---------------------------------------------------------------------
+
+    /// Scan the whole table and count live elements, tombstones and marked
+    /// cells: `(live, tombstones, marked)`.  Not linearizable; used for
+    /// tests, diagnostics and the exact-count fallback of §5.2.
+    pub fn scan_counts(&self) -> (usize, usize, usize) {
+        let mut live = 0;
+        let mut tombstones = 0;
+        let mut marked = 0;
+        for cell in self.cells.iter() {
+            let key = cell.load_key();
+            if is_marked(key) {
+                marked += 1;
+            }
+            let plain = unmark(key);
+            if plain == DEL_KEY {
+                tombstones += 1;
+            } else if plain != EMPTY_KEY {
+                live += 1;
+            }
+        }
+        (live, tombstones, marked)
+    }
+
+    /// Iterate over all live `⟨key, value⟩` pairs (snapshot semantics are
+    /// only guaranteed in the absence of concurrent writers; intended for
+    /// `forall`-style bulk reads, §4).
+    pub fn for_each(&self, mut f: impl FnMut(u64, u64)) {
+        for cell in self.cells.iter() {
+            let (key, value) = cell.read();
+            let plain = unmark(key);
+            if plain != EMPTY_KEY && plain != DEL_KEY {
+                f(plain, value);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_find_roundtrip() {
+        let t = BoundedTable::with_expected_elements(1000);
+        for k in 10..510u64 {
+            assert!(matches!(t.insert(k, k * 2), InsertOutcome::Inserted { .. }));
+        }
+        for k in 10..510u64 {
+            assert_eq!(t.find(k), Some(k * 2));
+        }
+        assert_eq!(t.find(100_000), None);
+        let (live, tomb, marked) = t.scan_counts();
+        assert_eq!((live, tomb, marked), (500, 0, 0));
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let t = BoundedTable::with_expected_elements(16);
+        assert!(matches!(t.insert(7, 1), InsertOutcome::Inserted { .. }));
+        assert_eq!(t.insert(7, 2), InsertOutcome::AlreadyPresent);
+        assert_eq!(t.find(7), Some(1));
+    }
+
+    #[test]
+    fn capacity_rule_matches_paper() {
+        let t = BoundedTable::with_expected_elements(1000);
+        assert!(t.capacity() >= 2000 && t.capacity() <= 4000 * 2);
+        assert!(t.capacity().is_power_of_two());
+    }
+
+    #[test]
+    fn update_existing_and_missing() {
+        let t = BoundedTable::with_expected_elements(64);
+        t.insert(5, 10);
+        assert_eq!(t.update_with(5, 7, |cur, d| cur + d), UpdateOutcome::Updated);
+        assert_eq!(t.find(5), Some(17));
+        assert_eq!(t.update_with(6, 7, |cur, d| cur + d), UpdateOutcome::NotFound);
+        assert_eq!(
+            t.update_overwrite_unsynchronized(5, 99),
+            UpdateOutcome::Updated
+        );
+        assert_eq!(t.find(5), Some(99));
+        assert_eq!(
+            t.update_overwrite_unsynchronized(6, 99),
+            UpdateOutcome::NotFound
+        );
+    }
+
+    #[test]
+    fn upsert_inserts_then_updates() {
+        let t = BoundedTable::with_expected_elements(64);
+        assert_eq!(t.upsert_with(9, 1, |c, d| c + d), UpsertOutcome::Inserted);
+        assert_eq!(t.upsert_with(9, 1, |c, d| c + d), UpsertOutcome::Updated);
+        assert_eq!(t.upsert_with(9, 5, |c, d| c + d), UpsertOutcome::Updated);
+        assert_eq!(t.find(9), Some(7));
+        assert_eq!(t.upsert_fetch_add_unsynchronized(11, 3), UpsertOutcome::Inserted);
+        assert_eq!(t.upsert_fetch_add_unsynchronized(11, 4), UpsertOutcome::Updated);
+        assert_eq!(t.find(11), Some(7));
+    }
+
+    #[test]
+    fn erase_leaves_tombstone() {
+        let t = BoundedTable::with_expected_elements(64);
+        t.insert(20, 200);
+        t.insert(21, 210);
+        assert_eq!(t.erase(20), EraseOutcome::Erased);
+        assert_eq!(t.erase(20), EraseOutcome::NotFound);
+        assert_eq!(t.find(20), None);
+        assert_eq!(t.find(21), Some(210));
+        let (live, tomb, _) = t.scan_counts();
+        assert_eq!((live, tomb), (1, 1));
+        // Deleted keys cannot be reinserted in the bounded folklore table
+        // (the tombstone is not reused) — the element is simply placed in a
+        // later cell, so it is findable again.
+        assert!(matches!(t.insert(20, 201), InsertOutcome::Inserted { .. }));
+        assert_eq!(t.find(20), Some(201));
+    }
+
+    #[test]
+    fn probing_wraps_around_table_end() {
+        let t = BoundedTable::with_cells(16, 0);
+        // Find keys that hash to the last cell to force wrap-around.
+        let mut colliding = Vec::new();
+        let mut k = 2u64;
+        while colliding.len() < 4 {
+            if t.home_cell(k) == 15 {
+                colliding.push(k);
+            }
+            k += 1;
+        }
+        for (i, &key) in colliding.iter().enumerate() {
+            assert!(
+                matches!(t.insert(key, i as u64), InsertOutcome::Inserted { .. }),
+                "insert {i}"
+            );
+        }
+        for (i, &key) in colliding.iter().enumerate() {
+            assert_eq!(t.find(key), Some(i as u64));
+        }
+    }
+
+    #[test]
+    fn full_table_reports_full() {
+        let t = BoundedTable::with_cells(16, 0);
+        let mut inserted = 0;
+        let mut k = 2u64;
+        let mut full_seen = false;
+        while k < 200 {
+            match t.insert(k, k) {
+                InsertOutcome::Inserted { .. } => inserted += 1,
+                InsertOutcome::Full => {
+                    full_seen = true;
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        assert!(inserted <= 16);
+        assert!(full_seen);
+    }
+
+    #[test]
+    fn marked_cells_freeze_writers_but_not_readers() {
+        let t = BoundedTable::with_expected_elements(64);
+        t.insert(40, 400);
+        let idx = {
+            // Locate the cell that holds key 40.
+            let mut i = t.home_cell(40);
+            loop {
+                if unmark(t.cell(i).load_key()) == 40 {
+                    break i;
+                }
+                i = (i + 1) % t.capacity();
+            }
+        };
+        t.cell(idx).mark_for_migration();
+        // Readers still see the frozen value.
+        assert_eq!(t.find(40), Some(400));
+        // Writers must report the migration.
+        assert_eq!(t.update_with(40, 1, |c, d| c + d), UpdateOutcome::Migrating);
+        assert_eq!(t.upsert_with(40, 1, |c, d| c + d), UpsertOutcome::Migrating);
+        assert_eq!(t.erase(40), EraseOutcome::Migrating);
+        // Insert of a *different* key that probes into a marked empty cell
+        // must also report the migration.
+        let empty_idx = (idx + 1) % t.capacity();
+        if t.cell(empty_idx).load_key() == EMPTY_KEY {
+            t.cell(empty_idx).mark_for_migration();
+        }
+    }
+
+    #[test]
+    fn insert_into_marked_empty_cell_reports_migrating() {
+        let t = BoundedTable::with_cells(16, 0);
+        // Mark every cell (as the migration of a full block would).
+        for i in 0..16 {
+            t.cell(i).mark_for_migration();
+        }
+        assert_eq!(t.insert(5, 50), InsertOutcome::Migrating);
+    }
+
+    #[test]
+    fn concurrent_inserts_unique_winner_per_key() {
+        let t = Arc::new(BoundedTable::with_expected_elements(10_000));
+        let successes = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for thread in 0..4u64 {
+                let t = Arc::clone(&t);
+                let successes = Arc::clone(&successes);
+                s.spawn(move || {
+                    for k in 100..2100u64 {
+                        if matches!(t.insert(k, thread), InsertOutcome::Inserted { .. }) {
+                            successes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        // Exactly one thread won each of the 2000 keys.
+        assert_eq!(successes.load(std::sync::atomic::Ordering::Relaxed), 2000);
+        let (live, _, _) = t.scan_counts();
+        assert_eq!(live, 2000);
+    }
+
+    #[test]
+    fn concurrent_upserts_aggregate_exactly() {
+        let t = Arc::new(BoundedTable::with_expected_elements(1024));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        let key = 100 + (i % 7);
+                        assert!(!matches!(
+                            t.upsert_with(key, 1, |c, d| c + d),
+                            UpsertOutcome::Full | UpsertOutcome::Migrating
+                        ));
+                    }
+                });
+            }
+        });
+        let total: u64 = (0..7u64).map(|k| t.find(100 + k).unwrap()).sum();
+        assert_eq!(total, 4 * 10_000);
+    }
+
+    #[test]
+    fn for_each_visits_live_elements_only() {
+        let t = BoundedTable::with_expected_elements(128);
+        for k in 2..66u64 {
+            t.insert(k, k);
+        }
+        t.erase(10);
+        t.erase(11);
+        let mut seen = Vec::new();
+        t.for_each(|k, v| {
+            assert_eq!(k, v);
+            seen.push(k);
+        });
+        seen.sort_unstable();
+        assert_eq!(seen.len(), 62);
+        assert!(!seen.contains(&10));
+        assert!(!seen.contains(&11));
+    }
+}

@@ -1,0 +1,268 @@
+//! Common interface for every hash table in the reproduction of
+//! *"Concurrent Hash Tables: Fast and General?(!)"* (Maier, Sanders,
+//! Dementiev, PPoPP 2016).
+//!
+//! The paper compares many hash table implementations — the authors' own
+//! *growt* family plus six competitor libraries — under one benchmark
+//! driver.  This crate defines the trait surface that driver programs
+//! against:
+//!
+//! * [`ConcurrentMap`] — a shared table object constructed once,
+//! * [`MapHandle`]     — a per-thread access handle (the paper's §5.1
+//!   "explicit handles"), through which all operations are performed,
+//! * [`Capabilities`]  — the static functionality matrix reproduced as
+//!   Table 1 of the paper.
+//!
+//! Keys and values are machine words (`u64`), matching the restriction of
+//! the paper's fast tables.  Tables that internally support wider types
+//! still expose this word-sized interface so that all implementations can
+//! be driven by the same benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Key type used throughout the reproduction: one machine word.
+pub type Key = u64;
+/// Value type used throughout the reproduction: one machine word.
+pub type Value = u64;
+
+/// Outcome of an [`MapHandle::insert_or_update`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOrUpdate {
+    /// The key was not present; a new element was inserted.
+    Inserted,
+    /// The key was present; its value was updated.
+    Updated,
+}
+
+impl InsertOrUpdate {
+    /// `true` if the operation inserted a new element.
+    #[inline]
+    pub fn inserted(self) -> bool {
+        matches!(self, InsertOrUpdate::Inserted)
+    }
+}
+
+/// How (and whether) a table can adapt its capacity, for Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrowthSupport {
+    /// Grows efficiently from a tiny initial size (paper §8.1.1).
+    Full,
+    /// Can only grow by a bounded factor or at a large cost (§8.1.2).
+    Limited,
+    /// Fixed capacity chosen at construction time (§8.1.3).
+    None,
+}
+
+/// Which style of per-thread registration a table requires, for Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterfaceStyle {
+    /// Plain shared-object interface; handles are trivial.
+    Standard,
+    /// Explicit per-thread handles carrying thread-local state (growt).
+    Handles,
+    /// The user must periodically signal quiescence (QSBR-style tables).
+    QsbrFunction,
+    /// Threads have to register/unregister with the table (urcu-style).
+    RegisterThread,
+    /// Operations of different kinds must not overlap (phase-concurrent).
+    SyncPhases,
+    /// Only a set interface (contains/put) is available (hopscotch, LeaHash).
+    SetInterface,
+}
+
+/// Static functionality description of a table implementation.
+///
+/// This is the data behind the reproduction of the paper's **Table 1**
+/// ("Overview over Table Functionalities").
+#[derive(Debug, Clone)]
+pub struct Capabilities {
+    /// Display name used in figures and tables.
+    pub name: &'static str,
+    /// Interface style (std. interface column).
+    pub interface: InterfaceStyle,
+    /// Growing support.
+    pub growing: GrowthSupport,
+    /// Whether updates whose result depends on the current value can be
+    /// performed atomically (e.g. insert-or-increment).
+    pub atomic_updates: bool,
+    /// Whether only overwriting updates are supported.
+    pub overwrite_only: bool,
+    /// Whether deletion (with eventual memory reclamation) is supported.
+    pub deletion: bool,
+    /// Whether arbitrary key/value types could be stored (not only words).
+    pub arbitrary_types: bool,
+    /// Free-form note shown in the table (e.g. "const factor" growth).
+    pub note: &'static str,
+}
+
+impl Capabilities {
+    /// Convenience constructor with all flags off and empty note.
+    pub const fn new(name: &'static str) -> Self {
+        Capabilities {
+            name,
+            interface: InterfaceStyle::Standard,
+            growing: GrowthSupport::None,
+            atomic_updates: false,
+            overwrite_only: false,
+            deletion: false,
+            arbitrary_types: false,
+            note: "",
+        }
+    }
+}
+
+/// A concurrent hash table that can be shared between threads.
+///
+/// The table object itself is cheap to share (`&self` across threads); all
+/// operations go through a per-thread [`MapHandle`] obtained from
+/// [`ConcurrentMap::handle`].  This mirrors the paper's handle-based design
+/// (§5.1) and also accommodates competitors that need per-thread
+/// registration or QSBR bookkeeping.
+pub trait ConcurrentMap: Send + Sync + Sized + 'static {
+    /// The per-thread handle type.
+    type Handle<'a>: MapHandle
+    where
+        Self: 'a;
+
+    /// Create a table able to hold roughly `capacity` elements.
+    ///
+    /// For non-growing tables this is the hard capacity bound (the
+    /// constructor may round it up, e.g. to a power of two, and apply the
+    /// implementation's own fill-factor headroom).  For growing tables it
+    /// is only the initial size hint.
+    fn with_capacity(capacity: usize) -> Self;
+
+    /// Obtain a handle for the calling thread.
+    fn handle(&self) -> Self::Handle<'_>;
+
+    /// Static functionality description (Table 1).
+    fn capabilities() -> Capabilities;
+
+    /// Short display name (defaults to the capabilities name).
+    fn table_name() -> &'static str {
+        Self::capabilities().name
+    }
+}
+
+/// Per-thread access handle of a [`ConcurrentMap`].
+///
+/// All methods take `&mut self`: a handle is owned by exactly one thread
+/// and may carry thread-local state (approximate-size counters, cached
+/// table pointers, QSBR epochs, …).  Handles of the same table may be used
+/// concurrently from different threads.
+pub trait MapHandle {
+    /// Insert `⟨k, v⟩` if no element with key `k` is present.
+    ///
+    /// Returns `true` iff the element was inserted.  When several threads
+    /// insert the same key concurrently exactly one succeeds.
+    fn insert(&mut self, k: Key, v: Value) -> bool;
+
+    /// Look up the value stored for `k`.
+    fn find(&mut self, k: Key) -> Option<Value>;
+
+    /// Update the element with key `k` to `up(current, d)`.
+    ///
+    /// Returns `true` iff an element was present and updated.  The update
+    /// is applied atomically with respect to other modifications of the
+    /// same element.
+    fn update(&mut self, k: Key, d: Value, up: fn(Value, Value) -> Value) -> bool;
+
+    /// Insert `⟨k, d⟩` if `k` is absent, otherwise atomically update the
+    /// stored value to `up(current, d)`.
+    fn insert_or_update(
+        &mut self,
+        k: Key,
+        d: Value,
+        up: fn(Value, Value) -> Value,
+    ) -> InsertOrUpdate;
+
+    /// Remove the element with key `k`.  Returns `true` iff an element was
+    /// removed.
+    fn erase(&mut self, k: Key) -> bool;
+
+    /// Overwrite the value of an existing element (specialized update).
+    ///
+    /// Tables can override this with a plain atomic store where their
+    /// consistency protocol allows it (paper §4, "partial template
+    /// specialization"); the default goes through [`MapHandle::update`].
+    fn update_overwrite(&mut self, k: Key, d: Value) -> bool {
+        self.update(k, d, |_cur, new| new)
+    }
+
+    /// Insert-or-increment (the aggregation workload of Fig. 5).
+    ///
+    /// Default: `insert_or_update` with a wrapping add; tables with a
+    /// fetch-and-add fast path override this.
+    fn insert_or_increment(&mut self, k: Key, d: Value) -> InsertOrUpdate {
+        self.insert_or_update(k, d, |cur, add| cur.wrapping_add(add))
+    }
+
+    /// Report a quiescent state / perform deferred maintenance.
+    ///
+    /// The benchmark driver calls this between work blocks.  QSBR-based
+    /// tables reclaim retired memory here; for most tables it is a no-op.
+    fn quiesce(&mut self) {}
+
+    /// An estimate of the number of elements currently stored.
+    ///
+    /// Accuracy follows the paper's §5.2: exact for sequential tables,
+    /// approximate (±O(p²)) for the concurrent ones.
+    fn size_estimate(&mut self) -> usize {
+        0
+    }
+}
+
+/// Render one [`Capabilities`] record as the seven columns of Table 1.
+pub fn capability_row(c: &Capabilities) -> [String; 7] {
+    let growing = match c.growing {
+        GrowthSupport::Full => "yes",
+        GrowthSupport::Limited => "limited",
+        GrowthSupport::None => "no",
+    };
+    let iface = match c.interface {
+        InterfaceStyle::Standard => "std",
+        InterfaceStyle::Handles => "handles",
+        InterfaceStyle::QsbrFunction => "qsbr fn",
+        InterfaceStyle::RegisterThread => "register",
+        InterfaceStyle::SyncPhases => "sync phases",
+        InterfaceStyle::SetInterface => "set iface",
+    };
+    [
+        c.name.to_string(),
+        iface.to_string(),
+        growing.to_string(),
+        if c.atomic_updates {
+            "yes".into()
+        } else if c.overwrite_only {
+            "overwrite".into()
+        } else {
+            "no".into()
+        },
+        if c.deletion { "yes" } else { "no" }.to_string(),
+        if c.arbitrary_types { "yes" } else { "no" }.to_string(),
+        c.note.to_string(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_or_update_inspection() {
+        assert!(InsertOrUpdate::Inserted.inserted());
+        assert!(!InsertOrUpdate::Updated.inserted());
+    }
+
+    #[test]
+    fn capability_defaults() {
+        let c = Capabilities::new("x");
+        assert_eq!(c.name, "x");
+        assert_eq!(c.growing, GrowthSupport::None);
+        assert!(!c.atomic_updates);
+        let row = capability_row(&c);
+        assert_eq!(row[0], "x");
+        assert_eq!(row[2], "no");
+    }
+}

@@ -1,0 +1,26 @@
+//! Memory-reclamation substrates for the reproduction of *"Concurrent Hash
+//! Tables: Fast and General?(!)"* (PPoPP 2016).
+//!
+//! Concurrent hash tables that replace their backing array (growing) or
+//! unlink nodes (chaining, split-ordered lists) must defer freeing memory
+//! until no thread can still be reading it.  The paper and its competitors
+//! use three different schemes, all of which are provided here:
+//!
+//! * [`counted_ptr`] — the paper's own scheme (§5.3.2): a versioned,
+//!   reference-counted pointer to the current table, cached per handle so
+//!   the shared counter is touched only once per table version;
+//! * [`qsbr`] — quiescent-state-based reclamation as used by the junction
+//!   tables and the RCU-QSBR variant (the application must periodically
+//!   announce quiescence);
+//! * [`epoch`] — classic epoch-based reclamation with pin/unpin guards,
+//!   used by the node-based baselines.
+
+#![warn(missing_docs)]
+
+pub mod counted_ptr;
+pub mod epoch;
+pub mod qsbr;
+
+pub use counted_ptr::{CachedArc, VersionedArc};
+pub use epoch::{EpochDomain, EpochGuard, EpochHandle};
+pub use qsbr::{QsbrDomain, QsbrParticipant};

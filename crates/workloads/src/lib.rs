@@ -1,0 +1,40 @@
+//! Workload generation and measurement infrastructure for the reproduction
+//! of *"Concurrent Hash Tables: Fast and General?(!)"* (PPoPP 2016).
+//!
+//! The paper's evaluation (§8.3/§8.4) is built from a small number of
+//! ingredients that this crate provides as reusable pieces:
+//!
+//! * [`mt64`] — the MT19937-64 random number generator used for all key
+//!   generation, plus a small splitmix64 helper generator;
+//! * [`hash`] — the CRC32-C pair hash of the paper and the
+//!   multiply–xorshift default hash of the tables;
+//! * [`zipf`] — Zipf(s) samplers for the contention benchmarks;
+//! * [`keys`] — pre-generated key sets for every benchmark (uniform,
+//!   skewed, mixed, sliding-window deletions);
+//! * [`scheduler`] — the shared block-of-4096 work-dealing counter;
+//! * [`driver`] — the generic multi-threaded measurement loop;
+//! * [`stats`] — timing, repetition averaging and figure/TSV output.
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod hash;
+pub mod keys;
+pub mod mt64;
+pub mod scheduler;
+pub mod stats;
+pub mod zipf;
+
+pub use driver::{
+    aggregate_driver, deletion_driver, find_driver, insert_driver, mixed_driver, prefill,
+    run_parallel, update_driver,
+};
+pub use hash::{crc64_pair, mix64, HashKind};
+pub use keys::{
+    deletion_workload, dense_prefill_keys, mixed_workload, uniform_distinct_keys, uniform_keys,
+    zipf_keys, DeletionWorkload, MixedOp, MixedWorkload,
+};
+pub use mt64::{Mt64, SplitMix64};
+pub use scheduler::BlockScheduler;
+pub use stats::{Figure, Measurement, Repetitions, Series};
+pub use zipf::{top_key_probability, ZipfSampler};

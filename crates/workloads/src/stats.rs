@@ -1,0 +1,269 @@
+//! Measurement bookkeeping: timing, throughput, repetition aggregation and
+//! the tabular output format used by the figure harness.
+//!
+//! The paper reports every data point as the average of five repeated
+//! executions (§8.3) and plots throughput in MOps/s together with absolute
+//! speedup over the hand-optimized sequential table.  [`Repetitions`] and
+//! [`Series`] implement exactly that bookkeeping.
+
+use std::time::Instant;
+
+/// Result of one timed workload execution.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Wall-clock seconds of the timed region.
+    pub seconds: f64,
+    /// Number of operations executed.
+    pub ops: usize,
+    /// Workload-specific auxiliary count (e.g. number of successful finds).
+    pub aux: u64,
+}
+
+impl Measurement {
+    /// Throughput in million operations per second.
+    pub fn mops(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            return 0.0;
+        }
+        self.ops as f64 / self.seconds / 1.0e6
+    }
+}
+
+/// Time the closure `f`, which must return `(ops, aux)`.
+pub fn time<F: FnOnce() -> (usize, u64)>(f: F) -> Measurement {
+    let start = Instant::now();
+    let (ops, aux) = f();
+    let seconds = start.elapsed().as_secs_f64();
+    Measurement { seconds, ops, aux }
+}
+
+/// Aggregation of repeated executions of the same configuration.
+#[derive(Debug, Default, Clone)]
+pub struct Repetitions {
+    runs: Vec<Measurement>,
+}
+
+impl Repetitions {
+    /// Create an empty aggregation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one run.
+    pub fn push(&mut self, m: Measurement) {
+        self.runs.push(m);
+    }
+
+    /// Number of recorded runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// `true` if no run was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Average throughput in MOps/s (the paper's reported statistic).
+    pub fn mean_mops(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs.iter().map(Measurement::mops).sum::<f64>() / self.runs.len() as f64
+    }
+
+    /// Average wall-clock seconds.
+    pub fn mean_seconds(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs.iter().map(|m| m.seconds).sum::<f64>() / self.runs.len() as f64
+    }
+
+    /// Best (maximum) throughput over the repetitions.
+    pub fn max_mops(&self) -> f64 {
+        self.runs.iter().map(Measurement::mops).fold(0.0, f64::max)
+    }
+
+    /// Relative spread `(max − min) / mean` of the throughput, used as a
+    /// crude variance indicator in EXPERIMENTS.md.
+    pub fn spread(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        let max = self.runs.iter().map(Measurement::mops).fold(f64::MIN, f64::max);
+        let min = self.runs.iter().map(Measurement::mops).fold(f64::MAX, f64::min);
+        let mean = self.mean_mops();
+        if mean == 0.0 {
+            0.0
+        } else {
+            (max - min) / mean
+        }
+    }
+
+    /// Sum of the auxiliary counters over all runs.
+    pub fn total_aux(&self) -> u64 {
+        self.runs.iter().map(|m| m.aux).sum()
+    }
+}
+
+/// One line series of a figure: `(x, throughput MOps/s)` pairs for one
+/// table implementation, e.g. throughput over thread count (Fig. 2/3) or
+/// over the contention parameter (Fig. 4/5).
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Name of the table implementation this series belongs to.
+    pub label: String,
+    /// `(x, y)` data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Create an empty series with the given label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a data point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+}
+
+/// A complete figure: several series over a common x-axis, rendered as a
+/// tab-separated table (one row per x value, one column per series) so
+/// that the output can be diffed, plotted or pasted into EXPERIMENTS.md.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Figure identifier, e.g. "fig2a".
+    pub id: String,
+    /// Label of the x axis, e.g. "threads" or "zipf s".
+    pub x_label: String,
+    /// The series, one per table implementation.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Create an empty figure.
+    pub fn new(id: impl Into<String>, x_label: impl Into<String>) -> Self {
+        Figure {
+            id: id.into(),
+            x_label: x_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a series.
+    pub fn push(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Render the figure as a TSV table (header + one row per x value).
+    pub fn to_tsv(&self) -> String {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.id));
+        out.push_str(&self.x_label);
+        for s in &self.series {
+            out.push('\t');
+            out.push_str(&s.label);
+        }
+        out.push('\n');
+        for &x in &xs {
+            if x == x.trunc() && x.abs() < 1e15 {
+                out.push_str(&format!("{}", x as i64));
+            } else {
+                out.push_str(&format!("{x:.3}"));
+            }
+            for s in &self.series {
+                out.push('\t');
+                match s
+                    .points
+                    .iter()
+                    .find(|&&(px, _)| (px - x).abs() < 1e-12)
+                {
+                    Some(&(_, y)) => out.push_str(&format!("{y:.3}")),
+                    None => out.push('-'),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_throughput() {
+        let m = Measurement {
+            seconds: 2.0,
+            ops: 4_000_000,
+            aux: 0,
+        };
+        assert!((m.mops() - 2.0).abs() < 1e-9);
+        let zero = Measurement {
+            seconds: 0.0,
+            ops: 10,
+            aux: 0,
+        };
+        assert_eq!(zero.mops(), 0.0);
+    }
+
+    #[test]
+    fn time_measures_and_passes_counts() {
+        let m = time(|| {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(i);
+            }
+            (10_000, acc)
+        });
+        assert_eq!(m.ops, 10_000);
+        assert!(m.seconds >= 0.0);
+    }
+
+    #[test]
+    fn repetitions_aggregate() {
+        let mut reps = Repetitions::new();
+        assert!(reps.is_empty());
+        reps.push(Measurement { seconds: 1.0, ops: 1_000_000, aux: 1 });
+        reps.push(Measurement { seconds: 0.5, ops: 1_000_000, aux: 2 });
+        assert_eq!(reps.len(), 2);
+        assert!((reps.mean_mops() - 1.5).abs() < 1e-9);
+        assert!((reps.max_mops() - 2.0).abs() < 1e-9);
+        assert!((reps.mean_seconds() - 0.75).abs() < 1e-9);
+        assert_eq!(reps.total_aux(), 3);
+        assert!(reps.spread() > 0.0);
+    }
+
+    #[test]
+    fn figure_tsv_layout() {
+        let mut fig = Figure::new("figX", "threads");
+        let mut a = Series::new("alpha");
+        a.push(1.0, 10.0);
+        a.push(2.0, 20.0);
+        let mut b = Series::new("beta");
+        b.push(1.0, 5.0);
+        fig.push(a);
+        fig.push(b);
+        let tsv = fig.to_tsv();
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines[0], "# figX");
+        assert_eq!(lines[1], "threads\talpha\tbeta");
+        assert!(lines[2].starts_with("1\t10.000\t5.000"));
+        assert!(lines[3].starts_with("2\t20.000\t-"));
+    }
+}

@@ -1,0 +1,299 @@
+//! Zipf-distributed key generation (paper §8.3).
+//!
+//! The paper models contention with Zipf's law: the probability of key `k`
+//! (for `k` in `1..=N`) is `P(k) = 1 / (k^s · H_{N,s})` where `H_{N,s}` is
+//! the generalized harmonic number and `s` the contention parameter swept
+//! in Figures 4 and 5 (`s ∈ {0.25, …, 2.0}`, universe `N = 10⁸`).
+//!
+//! Two samplers are provided:
+//!
+//! * [`ZipfTable`] — exact inverse-CDF sampling with a precomputed table,
+//!   memory `O(N)`; used for small universes and as the ground truth in
+//!   tests.
+//! * [`ZipfRejection`] — rejection-inversion sampling after Hörmann &
+//!   Derflinger, memory `O(1)`; used for large universes.
+//!
+//! [`ZipfSampler`] picks the appropriate backend automatically.
+
+use crate::mt64::Mt64;
+
+/// Upper bound on the universe size for which the exact CDF table is used.
+const TABLE_LIMIT: u64 = 1 << 21;
+
+/// Exact Zipf sampler using a precomputed cumulative distribution table.
+pub struct ZipfTable {
+    cdf: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Build the CDF for universe `1..=n` and exponent `s ≥ 0`.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n >= 1, "universe must be non-empty");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let norm = acc;
+        for v in &mut cdf {
+            *v /= norm;
+        }
+        ZipfTable { cdf }
+    }
+
+    /// Draw one key in `1..=n`.
+    #[inline]
+    pub fn sample(&self, rng: &mut Mt64) -> u64 {
+        let u = rng.next_f64();
+        // partition_point returns the number of entries < u, i.e. the index
+        // of the first cdf entry ≥ u, which is exactly key − 1.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as u64
+    }
+
+    /// Exact probability of key `k` under this distribution.
+    pub fn probability(&self, k: u64) -> f64 {
+        let i = (k - 1) as usize;
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+/// Rejection-inversion Zipf sampler (Hörmann & Derflinger 1996).
+///
+/// Constant memory and `O(1)` expected time per sample for any universe
+/// size and any exponent `s ≥ 0`.
+pub struct ZipfRejection {
+    n: f64,
+    s: f64,
+    h_x1: f64,
+    h_n: f64,
+    threshold: f64,
+}
+
+impl ZipfRejection {
+    /// Create a sampler for universe `1..=n` and exponent `s ≥ 0`.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n >= 1);
+        assert!(s >= 0.0 && s.is_finite());
+        let nf = n as f64;
+        let h_x1 = Self::h_static(s, 1.5) - 1.0;
+        let h_n = Self::h_static(s, nf + 0.5);
+        let threshold = 2.0 - Self::h_inv_static(s, Self::h_static(s, 2.5) - Self::pmf_unnormalized(s, 2.0));
+        ZipfRejection {
+            n: nf,
+            s,
+            h_x1,
+            h_n,
+            threshold,
+        }
+    }
+
+    #[inline]
+    fn pmf_unnormalized(s: f64, x: f64) -> f64 {
+        x.powf(-s)
+    }
+
+    /// `H(x) = ∫ x^{-s} dx`, the antiderivative used by rejection-inversion.
+    #[inline]
+    fn h_static(s: f64, x: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-12 {
+            x.ln()
+        } else {
+            (x.powf(1.0 - s) - 1.0) / (1.0 - s)
+        }
+    }
+
+    #[inline]
+    fn h_inv_static(s: f64, y: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-12 {
+            y.exp()
+        } else {
+            (1.0 + y * (1.0 - s)).powf(1.0 / (1.0 - s))
+        }
+    }
+
+    /// Draw one key in `1..=n`.
+    pub fn sample(&self, rng: &mut Mt64) -> u64 {
+        loop {
+            let u = self.h_n + rng.next_f64() * (self.h_x1 - self.h_n);
+            let x = Self::h_inv_static(self.s, u);
+            let k = x.round().clamp(1.0, self.n);
+            if k - x <= self.threshold
+                || u >= Self::h_static(self.s, k + 0.5) - Self::pmf_unnormalized(self.s, k)
+            {
+                return k as u64;
+            }
+        }
+    }
+}
+
+/// Zipf sampler that automatically chooses the exact-table backend for
+/// small universes and rejection-inversion for large ones.
+pub enum ZipfSampler {
+    /// Exact CDF table backend.
+    Table(ZipfTable),
+    /// Rejection-inversion backend.
+    Rejection(ZipfRejection),
+}
+
+impl ZipfSampler {
+    /// Create a sampler for universe `1..=n` and exponent `s`.
+    pub fn new(n: u64, s: f64) -> Self {
+        if n <= TABLE_LIMIT {
+            ZipfSampler::Table(ZipfTable::new(n, s))
+        } else {
+            ZipfSampler::Rejection(ZipfRejection::new(n, s))
+        }
+    }
+
+    /// Draw one key in `1..=n`.
+    #[inline]
+    pub fn sample(&self, rng: &mut Mt64) -> u64 {
+        match self {
+            ZipfSampler::Table(t) => t.sample(rng),
+            ZipfSampler::Rejection(r) => r.sample(rng),
+        }
+    }
+
+    /// Generate a full key sequence of length `len` (keys in `1..=n`).
+    pub fn sequence(&self, rng: &mut Mt64, len: usize) -> Vec<u64> {
+        (0..len).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Probability of the most frequent key (`k = 1`) under Zipf(s) over
+/// `1..=n`.  The paper uses this to explain where contention starts to
+/// dominate (`1/p ≈ P(k₁)`, §8.4).
+pub fn top_key_probability(n: u64, s: f64) -> f64 {
+    let mut harmonic = 0.0;
+    // For large n, approximate the tail of the harmonic sum by an integral.
+    let exact_terms = n.min(1 << 20);
+    for k in 1..=exact_terms {
+        harmonic += (k as f64).powf(-s);
+    }
+    if n > exact_terms {
+        let a = exact_terms as f64 + 0.5;
+        let b = n as f64 + 0.5;
+        harmonic += if (s - 1.0).abs() < 1e-12 {
+            (b / a).ln()
+        } else {
+            (b.powf(1.0 - s) - a.powf(1.0 - s)) / (1.0 - s)
+        };
+    }
+    1.0 / harmonic
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical_counts(sampler: &ZipfSampler, n: u64, draws: usize, seed: u64) -> Vec<u64> {
+        let mut rng = Mt64::new(seed);
+        let mut counts = vec![0u64; n as usize + 1];
+        for _ in 0..draws {
+            let k = sampler.sample(&mut rng);
+            assert!(k >= 1 && k <= n, "sample {k} out of range 1..={n}");
+            counts[k as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn table_samples_within_range_and_skewed() {
+        let n = 1000;
+        let sampler = ZipfSampler::new(n, 1.0);
+        let counts = empirical_counts(&sampler, n, 200_000, 1);
+        // Key 1 must be the most frequent and roughly P(1) ≈ 1/H_n ≈ 0.133.
+        let max_idx = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .unwrap()
+            .0;
+        assert_eq!(max_idx, 1);
+        let p1 = counts[1] as f64 / 200_000.0;
+        assert!((p1 - 0.1336).abs() < 0.02, "p1 = {p1}");
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let n = 64;
+        let sampler = ZipfSampler::new(n, 0.0);
+        let counts = empirical_counts(&sampler, n, 128_000, 3);
+        let expected = 128_000.0 / n as f64;
+        for k in 1..=n as usize {
+            let c = counts[k] as f64;
+            assert!(c > expected * 0.75 && c < expected * 1.25, "key {k}: {c}");
+        }
+    }
+
+    #[test]
+    fn rejection_matches_table_distribution() {
+        // Compare rejection-inversion against the exact table on a small
+        // universe for several exponents (including s = 1 and s > 1).
+        for &s in &[0.25f64, 0.85, 1.0, 1.25, 2.0] {
+            let n = 200u64;
+            let table = ZipfTable::new(n, s);
+            let rej = ZipfRejection::new(n, s);
+            let mut rng = Mt64::new(17);
+            let draws = 150_000usize;
+            let mut counts = vec![0u64; n as usize + 1];
+            for _ in 0..draws {
+                let k = rej.sample(&mut rng);
+                assert!(k >= 1 && k <= n);
+                counts[k as usize] += 1;
+            }
+            // Check the head of the distribution against exact probabilities.
+            for k in 1..=10u64 {
+                let p_exact = table.probability(k);
+                let p_emp = counts[k as usize] as f64 / draws as f64;
+                assert!(
+                    (p_exact - p_emp).abs() < 0.015 + p_exact * 0.15,
+                    "s={s} k={k}: exact {p_exact} empirical {p_emp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn top_key_probability_matches_table() {
+        let n = 5000u64;
+        for &s in &[0.5, 1.0, 1.5] {
+            let table = ZipfTable::new(n, s);
+            let approx = top_key_probability(n, s);
+            let exact = table.probability(1);
+            assert!(
+                (approx - exact).abs() / exact < 0.01,
+                "s={s}: {approx} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn sequence_length_and_determinism() {
+        let sampler = ZipfSampler::new(1 << 10, 1.1);
+        let mut rng1 = Mt64::new(5);
+        let mut rng2 = Mt64::new(5);
+        let a = sampler.sequence(&mut rng1, 1000);
+        let b = sampler.sequence(&mut rng2, 1000);
+        assert_eq!(a.len(), 1000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn large_universe_uses_rejection() {
+        let sampler = ZipfSampler::new(1 << 30, 1.05);
+        assert!(matches!(sampler, ZipfSampler::Rejection(_)));
+        let mut rng = Mt64::new(9);
+        for _ in 0..10_000 {
+            let k = sampler.sample(&mut rng);
+            assert!(k >= 1 && k <= 1 << 30);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Duplicate removal / sparse-graph edge set — another introductory use
+//! case of the paper: store the edge set of a sparse graph so that edge
+//! queries and duplicate-free construction are cheap.
+//!
+//! Edges arrive as (possibly repeated) pairs from multiple producer
+//! threads; `insert` reports whether the edge is new, so each edge is
+//! processed exactly once even though producers overlap.
+//!
+//! Run with: `cargo run --release --example dedup_graph`
+
+use growt_repro::prelude::*;
+use growt_workloads::Mt64;
+
+/// Pack an undirected edge into one word (smaller endpoint first).
+fn edge_key(u: u32, v: u32) -> u64 {
+    let (a, b) = if u <= v { (u, v) } else { (v, u) };
+    ((a as u64) << 32 | b as u64) + 2 // shift past reserved keys
+}
+
+fn main() {
+    let nodes = 100_000u32;
+    let edges_per_thread = 500_000usize;
+    let threads = 4u64;
+
+    let table = UaGrow::with_capacity(1 << 16);
+    let unique = std::sync::atomic::AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let table = &table;
+            let unique = &unique;
+            scope.spawn(move || {
+                let mut rng = Mt64::new(1000 + t);
+                let mut handle = table.handle();
+                let mut local_new = 0u64;
+                for _ in 0..edges_per_thread {
+                    // Skewed endpoints → many duplicate edges between hubs.
+                    let u = (rng.next_below(nodes as u64) as u32) / 3;
+                    let v = (rng.next_below(nodes as u64) as u32) / 3;
+                    if u == v {
+                        continue;
+                    }
+                    if handle.insert(edge_key(u, v), 1) {
+                        local_new += 1;
+                    }
+                }
+                unique.fetch_add(local_new, std::sync::atomic::Ordering::Relaxed);
+            });
+        }
+    });
+
+    let mut handle = table.handle();
+    let produced = threads as usize * edges_per_thread;
+    println!(
+        "processed {produced} edge insertions, kept {} unique edges",
+        unique.load(std::sync::atomic::Ordering::Relaxed)
+    );
+
+    // Edge queries.
+    let mut rng = Mt64::new(7);
+    let mut present = 0;
+    for _ in 0..1_000_000 {
+        let u = (rng.next_below(nodes as u64) as u32) / 3;
+        let v = (rng.next_below(nodes as u64) as u32) / 3;
+        if u != v && handle.find(edge_key(u, v)).is_some() {
+            present += 1;
+        }
+    }
+    println!("random edge queries: {present} of 1000000 present");
+}

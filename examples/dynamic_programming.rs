@@ -1,0 +1,78 @@
+//! Memoization for parallel dynamic programming — the use case of Stivala
+//! et al. cited in the paper (§1, §2): multiple threads explore an
+//! implicitly defined search space and share solved sub-problems through a
+//! concurrent hash table.
+//!
+//! The toy problem: a randomized variant of the "coin change" recurrence
+//! evaluated from many random start states.  Each thread memoizes
+//! sub-results in the shared table; `insert` tells a thread whether it is
+//! the first to solve a sub-problem.
+//!
+//! Run with: `cargo run --release --example dynamic_programming`
+
+use growt_repro::prelude::*;
+use growt_workloads::Mt64;
+
+const COINS: [u64; 5] = [1, 5, 9, 23, 41];
+
+/// Count the minimal number of coins for `amount`, memoizing in `handle`.
+fn solve<H: MapHandle>(handle: &mut H, amount: u64, hits: &mut u64, misses: &mut u64) -> u64 {
+    if amount == 0 {
+        return 0;
+    }
+    let key = amount + 16; // shift past reserved keys
+    if let Some(cached) = handle.find(key) {
+        *hits += 1;
+        return cached;
+    }
+    *misses += 1;
+    let mut best = u64::MAX - 1;
+    for &coin in COINS.iter() {
+        if coin <= amount {
+            best = best.min(1 + solve(handle, amount - coin, hits, misses));
+        }
+    }
+    handle.insert(key, best);
+    best
+}
+
+fn main() {
+    let table = UaGrow::with_capacity(1 << 12);
+    let threads = 4u64;
+    let queries_per_thread = 500u64;
+    let max_amount = 5_000u64;
+
+    let start = std::time::Instant::now();
+    let totals = std::sync::Mutex::new((0u64, 0u64));
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let table = &table;
+            let totals = &totals;
+            scope.spawn(move || {
+                let mut rng = Mt64::new(t + 1);
+                let mut handle = table.handle();
+                let (mut hits, mut misses) = (0u64, 0u64);
+                for _ in 0..queries_per_thread {
+                    let amount = 1 + rng.next_below(max_amount);
+                    let coins = solve(&mut handle, amount, &mut hits, &mut misses);
+                    assert!(coins < u64::MAX - 1);
+                }
+                let mut guard = totals.lock().unwrap();
+                guard.0 += hits;
+                guard.1 += misses;
+            });
+        }
+    });
+    let (hits, misses) = *totals.lock().unwrap();
+    let mut handle = table.handle();
+    println!(
+        "solved {} random instances in {:.3}s; memo table holds {} sub-problems \
+         ({} cache hits, {} misses shared across {} threads)",
+        threads * queries_per_thread,
+        start.elapsed().as_secs_f64(),
+        handle.size_estimate(),
+        hits,
+        misses,
+        threads,
+    );
+}

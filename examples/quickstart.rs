@@ -1,0 +1,49 @@
+//! Quickstart: the basic interface of the growing hash tables.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use growt_repro::prelude::*;
+
+fn main() {
+    // A growing table needs only a rough initial size hint; it migrates
+    // itself to larger tables as elements arrive (paper §5.3).
+    let table = UaGrow::with_capacity(1024);
+
+    // Every thread obtains its own handle (paper §5.1).
+    let threads = 4;
+    let per_thread = 250_000u64;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let table = &table;
+            scope.spawn(move || {
+                let mut handle = table.handle();
+                for i in 0..per_thread {
+                    let key = 2 + t * per_thread + i;
+                    handle.insert(key, key * 10);
+                }
+            });
+        }
+    });
+
+    // Lookups never write shared memory and can run from any handle.
+    let mut handle = table.handle();
+    let total = threads * per_thread;
+    let mut hits = 0u64;
+    for key in 2..2 + total {
+        if handle.find(key) == Some(key * 10) {
+            hits += 1;
+        }
+    }
+    println!("inserted {total} elements concurrently, verified {hits} lookups");
+
+    // Updates can be arbitrary atomic read-modify-write functions (§4).
+    handle.insert_or_update(7, 1, |current, d| current.max(d));
+    handle.update(7, 100, |current, d| current + d);
+    println!("key 7 now maps to {:?}", handle.find(7));
+
+    // Deletion writes a tombstone; the next cleanup migration reclaims the
+    // cell (§5.4).
+    handle.erase(7);
+    assert_eq!(handle.find(7), None);
+    println!("approximate size: {}", handle.size_estimate());
+}

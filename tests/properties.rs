@@ -1,0 +1,207 @@
+//! Property-based tests (proptest) on the core data structures and their
+//! invariants.
+
+use std::collections::HashMap;
+
+use growt_repro::prelude::*;
+use proptest::prelude::*;
+
+/// A small operation language for the model-based property test.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Find(u64),
+    Upsert(u64, u64),
+    Erase(u64),
+    Overwrite(u64, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // A small key universe maximizes collisions, duplicate inserts and
+    // delete/re-insert interactions.
+    let key = 2u64..200;
+    prop_oneof![
+        (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        key.clone().prop_map(Op::Find),
+        (key.clone(), 1u64..5).prop_map(|(k, d)| Op::Upsert(k, d)),
+        key.clone().prop_map(Op::Erase),
+        (key, any::<u64>()).prop_map(|(k, v)| Op::Overwrite(k, v)),
+    ]
+}
+
+fn run_model<M: ConcurrentMap>(ops: &[Op]) -> Result<(), TestCaseError> {
+    run_model_with_capacity::<M>(ops, 16)
+}
+
+fn run_model_with_capacity<M: ConcurrentMap>(
+    ops: &[Op],
+    capacity: usize,
+) -> Result<(), TestCaseError> {
+    let table = M::with_capacity(capacity);
+    let mut handle = table.handle();
+    let mut model: HashMap<u64, u64> = HashMap::new();
+    for op in ops {
+        match *op {
+            Op::Insert(k, v) => {
+                let expected = !model.contains_key(&k);
+                prop_assert_eq!(handle.insert(k, v), expected);
+                model.entry(k).or_insert(v);
+            }
+            Op::Find(k) => {
+                prop_assert_eq!(handle.find(k), model.get(&k).copied());
+            }
+            Op::Upsert(k, d) => {
+                let expected = if model.contains_key(&k) {
+                    InsertOrUpdate::Updated
+                } else {
+                    InsertOrUpdate::Inserted
+                };
+                prop_assert_eq!(
+                    handle.insert_or_update(k, d, |c, x| c.wrapping_add(x)),
+                    expected
+                );
+                model
+                    .entry(k)
+                    .and_modify(|v| *v = v.wrapping_add(d))
+                    .or_insert(d);
+            }
+            Op::Erase(k) => {
+                prop_assert_eq!(handle.erase(k), model.remove(&k).is_some());
+            }
+            Op::Overwrite(k, v) => {
+                let expected = model.contains_key(&k);
+                prop_assert_eq!(handle.update_overwrite(k, v), expected);
+                if expected {
+                    model.insert(k, v);
+                }
+            }
+        }
+    }
+    for (&k, &v) in &model {
+        prop_assert_eq!(handle.find(k), Some(v));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// uaGrow behaves exactly like HashMap for arbitrary op sequences.
+    #[test]
+    fn ua_grow_matches_hashmap(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        run_model::<UaGrow>(&ops)?;
+    }
+
+    /// usGrow (synchronized protocol, fetch-add specializations).
+    #[test]
+    fn us_grow_matches_hashmap(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        run_model::<UsGrow>(&ops)?;
+    }
+
+    /// The bounded folklore table, sized for the whole key universe (it
+    /// cannot grow and its tombstones are never reclaimed, §5.4).
+    #[test]
+    fn folklore_matches_hashmap(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        run_model_with_capacity::<Folklore>(&ops, 512)?;
+    }
+
+    /// The sequential reference table is itself a faithful map.
+    #[test]
+    fn seq_table_matches_hashmap(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        run_model::<SeqGrowingTable>(&ops)?;
+    }
+
+    /// Zipf samples always fall inside the configured universe, for any
+    /// exponent and universe size.
+    #[test]
+    fn zipf_samples_in_range(s in 0.0f64..2.5, n in 1u64..100_000, seed in any::<u64>()) {
+        let sampler = ZipfSampler::new(n, s);
+        let mut rng = Mt64::new(seed);
+        for _ in 0..200 {
+            let k = sampler.sample(&mut rng);
+            prop_assert!(k >= 1 && k <= n);
+        }
+    }
+
+    /// The scaling cell mapping is monotone in the hash value — the
+    /// property Lemma 1 (cluster migration) rests on.
+    #[test]
+    fn scaling_is_monotone(mut hashes in prop::collection::vec(any::<u64>(), 2..200),
+                           log_capacity in 4u32..24) {
+        let capacity = 1usize << log_capacity;
+        hashes.sort_unstable();
+        let cells: Vec<usize> = hashes
+            .iter()
+            .map(|&h| growt_core::config::scale_to_capacity(h, capacity))
+            .collect();
+        for pair in cells.windows(2) {
+            prop_assert!(pair[0] <= pair[1]);
+        }
+        for (&h, &c) in hashes.iter().zip(&cells) {
+            prop_assert!(c < capacity);
+            // Growing by γ=2 maps the cell into [2c, 2c+2) — the disjoint
+            // target ranges of Lemma 1.
+            let grown = growt_core::config::scale_to_capacity(h, capacity * 2);
+            prop_assert!(grown >= 2 * c && grown < 2 * (c + 1));
+        }
+    }
+
+    /// Migrating a randomly filled bounded table (with random tombstones)
+    /// into a larger one preserves exactly the live contents.
+    #[test]
+    fn migration_preserves_contents(
+        keys in prop::collection::hash_set(2u64..1_000_000, 1..400),
+        delete_every in 2usize..5,
+        log_growth in 0u32..3,
+    ) {
+        use growt_core::{migrate, BoundedTable};
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let src = BoundedTable::with_expected_elements(keys.len().max(4));
+        for &k in &keys {
+            assert!(matches!(
+                src.insert(k, k ^ 0xABCD),
+                growt_core::table::InsertOutcome::Inserted { .. }
+            ));
+        }
+        let mut deleted = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            if i % delete_every == 0 {
+                src.erase(k);
+                deleted.push(k);
+            }
+        }
+        let dst = BoundedTable::with_cells(src.capacity() << log_growth, 1);
+        migrate::migrate_all_sequential(&src, &dst);
+        for &k in &keys {
+            if deleted.contains(&k) {
+                prop_assert_eq!(dst.find(k), None);
+            } else {
+                prop_assert_eq!(dst.find(k), Some(k ^ 0xABCD));
+            }
+        }
+    }
+
+    /// The approximate counter never under-estimates by more than p² and is
+    /// exact after all handles flush.
+    #[test]
+    fn approximate_count_error_bound(p in 1usize..16, per_handle in 1usize..200) {
+        use growt_core::count::{GlobalCount, LocalCount};
+        let global = GlobalCount::new();
+        let mut locals: Vec<LocalCount> =
+            (0..p).map(|i| LocalCount::new(p, i as u64 + 1)).collect();
+        let mut truth = 0u64;
+        for round in 0..per_handle {
+            for local in locals.iter_mut() {
+                local.record_insertion(&global);
+                truth += 1;
+                let estimate = global.insertions();
+                prop_assert!(truth - estimate <= (p * p) as u64,
+                    "round {round}: estimate {estimate}, truth {truth}");
+            }
+        }
+        for local in locals.iter_mut() {
+            local.flush(&global);
+        }
+        prop_assert_eq!(global.insertions(), truth);
+    }
+}
