@@ -77,8 +77,8 @@ unsafe impl GlobalAlloc for TrackingAlloc {
 #[inline]
 fn record_alloc(size: u64) {
     ALLOCATION_COUNT.fetch_add(1, Ordering::Relaxed);
-    let live = ALLOCATED.fetch_add(size, Ordering::Relaxed) + size
-        - DEALLOCATED.load(Ordering::Relaxed);
+    let live =
+        ALLOCATED.fetch_add(size, Ordering::Relaxed) + size - DEALLOCATED.load(Ordering::Relaxed);
     // Best-effort peak tracking; exact enough for Fig. 10 reporting.
     PEAK.fetch_max(live, Ordering::Relaxed);
 }

@@ -110,6 +110,53 @@ impl Inner {
         }
         None
     }
+
+    /// Apply `up` to `k`'s value in place if present in either bucket.
+    /// Requires exclusive access (write lock held).
+    fn update_in_place(&mut self, k: u64, d: u64, up: fn(u64, u64) -> u64) -> bool {
+        let (a, b) = self.bucket_pair(k);
+        for bucket in [a, b] {
+            if let Some((slot, cur)) = self.find_in(bucket, k) {
+                self.buckets[bucket][slot].value = up(cur, d);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Place a key known to be absent: free slot in either bucket, else a
+    /// displacement path.  Returns `false` if no room is found (caller must
+    /// grow and retry).  Requires exclusive access (write lock held).
+    fn place(&mut self, k: u64, v: u64) -> bool {
+        let (a, b) = self.bucket_pair(k);
+        for bucket in [a, b] {
+            if let Some(slot) = self.free_slot(bucket) {
+                self.buckets[bucket][slot] = Entry {
+                    occupied: true,
+                    key: k,
+                    value: v,
+                };
+                return true;
+            }
+        }
+        if let Some(moves) = self.find_path(a, b) {
+            // Shift elements along the path (from the end backwards).
+            for window in moves.windows(2).rev() {
+                let (to_bucket, to_slot) = window[1];
+                let (from_bucket, from_slot) = window[0];
+                self.buckets[to_bucket][to_slot] = self.buckets[from_bucket][from_slot];
+                self.buckets[from_bucket][from_slot].occupied = false;
+            }
+            let (first_bucket, first_slot) = moves[0];
+            self.buckets[first_bucket][first_slot] = Entry {
+                occupied: true,
+                key: k,
+                value: v,
+            };
+            return true;
+        }
+        false
+    }
 }
 
 /// Bucketized cuckoo hash table with striped locks.
@@ -124,7 +171,14 @@ pub struct CuckooHandle<'a> {
 }
 
 impl Cuckoo {
-    fn lock_two(&self, a: usize, b: usize) -> (parking_lot::MutexGuard<'_, ()>, Option<parking_lot::MutexGuard<'_, ()>>) {
+    fn lock_two(
+        &self,
+        a: usize,
+        b: usize,
+    ) -> (
+        parking_lot::MutexGuard<'_, ()>,
+        Option<parking_lot::MutexGuard<'_, ()>>,
+    ) {
         let (first, second) = (a.min(b) % LOCK_STRIPES, a.max(b) % LOCK_STRIPES);
         let g1 = self.locks[first].lock();
         let g2 = if second != first {
@@ -217,25 +271,7 @@ impl MapHandle for CuckooHandle<'_> {
                 if inner.find_in(a, k).is_some() || inner.find_in(b, k).is_some() {
                     return false;
                 }
-                if let Some(slot) = inner.free_slot(a) {
-                    inner.buckets[a][slot] = Entry { occupied: true, key: k, value: v };
-                    return true;
-                }
-                if let Some(slot) = inner.free_slot(b) {
-                    inner.buckets[b][slot] = Entry { occupied: true, key: k, value: v };
-                    return true;
-                }
-                if let Some(moves) = inner.find_path(a, b) {
-                    // Shift elements along the path (from the end backwards).
-                    for window in moves.windows(2).rev() {
-                        let (to_bucket, to_slot) = window[1];
-                        let (from_bucket, from_slot) = window[0];
-                        inner.buckets[to_bucket][to_slot] = inner.buckets[from_bucket][from_slot];
-                        inner.buckets[from_bucket][from_slot].occupied = false;
-                    }
-                    let (first_bucket, first_slot) = moves[0];
-                    inner.buckets[first_bucket][first_slot] =
-                        Entry { occupied: true, key: k, value: v };
+                if inner.place(k, v) {
                     return true;
                 }
             }
@@ -259,23 +295,31 @@ impl MapHandle for CuckooHandle<'_> {
 
     fn update(&mut self, k: Key, d: Value, up: fn(Value, Value) -> Value) -> bool {
         let mut inner = self.table.inner.write();
-        let (a, b) = inner.bucket_pair(k);
-        for bucket in [a, b] {
-            if let Some((slot, cur)) = inner.find_in(bucket, k) {
-                inner.buckets[bucket][slot].value = up(cur, d);
-                return true;
-            }
-        }
-        false
+        inner.update_in_place(k, d, up)
     }
 
-    fn insert_or_update(&mut self, k: Key, d: Value, up: fn(Value, Value) -> Value) -> InsertOrUpdate {
-        if self.update(k, d, up) {
-            InsertOrUpdate::Updated
-        } else if self.insert(k, d) {
-            InsertOrUpdate::Inserted
-        } else {
-            InsertOrUpdate::Updated
+    fn insert_or_update(
+        &mut self,
+        k: Key,
+        d: Value,
+        up: fn(Value, Value) -> Value,
+    ) -> InsertOrUpdate {
+        // Update and insert must happen in ONE write-lock critical section:
+        // composing the public `update` and `insert` (which take the lock
+        // separately) lets a concurrent upsert of the same key slip between
+        // them and drops this thread's update ("lost increment").
+        loop {
+            {
+                let mut inner = self.table.inner.write();
+                if inner.update_in_place(k, d, up) {
+                    return InsertOrUpdate::Updated;
+                }
+                if inner.place(k, d) {
+                    return InsertOrUpdate::Inserted;
+                }
+            }
+            // No room even after displacement: grow and retry.
+            self.table.grow();
         }
     }
 

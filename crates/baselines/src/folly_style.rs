@@ -25,6 +25,12 @@ use crate::util::{capacity_for, hash_key, scale};
 
 const EMPTY: u64 = 0;
 const TOMBSTONE: u64 = 1;
+/// A cell claimed by an inserter whose value store has not been published
+/// yet.  Probes spin through this (very short) window instead of skipping,
+/// so a published key is always paired with an initialized value — the
+/// property the fetch-and-add fast path and the update CAS loop rely on.
+/// Not a valid user key (generated keys stay below `1 << 63`).
+const INFLIGHT: u64 = u64::MAX;
 /// Maximum number of chained sub-maps (the original defaults to 14, with
 /// each sub-map half the size of the previous growth step; we keep them
 /// equally sized at half the primary size which gives the same ≈ bounded
@@ -48,6 +54,20 @@ impl SubMap {
         }
     }
 
+    /// Load the key at `index`, spinning out the in-flight insertion window
+    /// so callers only ever observe `EMPTY`, `TOMBSTONE` or a published key
+    /// (whose value store already happened-before the key store).
+    #[inline]
+    fn key_at(&self, index: usize) -> u64 {
+        loop {
+            let stored = self.keys[index].load(Ordering::Acquire);
+            if stored != INFLIGHT {
+                return stored;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
     /// Try to insert; `Err(())` means this sub-map is full.
     fn insert(&self, key: u64, value: u64) -> Result<bool, ()> {
         if self.used.load(Ordering::Relaxed) * 10 >= self.capacity * 8 {
@@ -55,19 +75,23 @@ impl SubMap {
         }
         let mut index = scale(hash_key(key), self.capacity);
         for _ in 0..self.capacity.min(1024) {
-            let stored = self.keys[index].load(Ordering::Acquire);
+            let stored = self.key_at(index);
             if stored == key {
                 return Ok(false);
             }
             if stored == EMPTY {
                 match self.keys[index].compare_exchange(
                     EMPTY,
-                    key,
+                    INFLIGHT,
                     Ordering::AcqRel,
                     Ordering::Acquire,
                 ) {
                     Ok(_) => {
+                        // Initialize the value BEFORE publishing the key:
+                        // concurrent fetch-add / CAS updates must never see
+                        // (and then be overwritten by) a transient zero.
                         self.values[index].store(value, Ordering::Release);
+                        self.keys[index].store(key, Ordering::Release);
                         self.used.fetch_add(1, Ordering::Relaxed);
                         return Ok(true);
                     }
@@ -75,6 +99,7 @@ impl SubMap {
                         if actual == key {
                             return Ok(false);
                         }
+                        // Lost the claim race: re-examine the same cell.
                         continue;
                     }
                 }
@@ -87,7 +112,7 @@ impl SubMap {
     fn find_slot(&self, key: u64) -> Option<usize> {
         let mut index = scale(hash_key(key), self.capacity);
         for _ in 0..self.capacity.min(1024) {
-            let stored = self.keys[index].load(Ordering::Acquire);
+            let stored = self.key_at(index);
             if stored == EMPTY {
                 return None;
             }
@@ -215,7 +240,12 @@ impl MapHandle for FollyStyleHandle<'_> {
         false
     }
 
-    fn insert_or_update(&mut self, k: Key, d: Value, up: fn(Value, Value) -> Value) -> InsertOrUpdate {
+    fn insert_or_update(
+        &mut self,
+        k: Key,
+        d: Value,
+        up: fn(Value, Value) -> Value,
+    ) -> InsertOrUpdate {
         if self.update(k, d, up) {
             InsertOrUpdate::Updated
         } else if self.insert(k, d) {
@@ -288,7 +318,10 @@ mod tests {
         for k in 2..2 + n {
             assert!(h.insert(k, k), "insert {k}");
         }
-        assert!(t.active.load(Ordering::Relaxed) > 1, "never chained a sub-map");
+        assert!(
+            t.active.load(Ordering::Relaxed) > 1,
+            "never chained a sub-map"
+        );
         for k in 2..2 + n {
             assert_eq!(h.find(k), Some(k));
         }

@@ -24,6 +24,10 @@ use crate::util::{capacity_for, hash_key, scale};
 /// Neighborhood size (the classic choice).
 const H: usize = 32;
 const EMPTY: u64 = 0;
+/// In-flight claim on an empty cell: taken with CAS by an inserter whose
+/// probe ran past its own stripe, published as the real key afterwards.
+/// Not a valid user key (generated keys stay below `1 << 63`).
+const RESERVED: u64 = u64::MAX;
 const LOCK_STRIPES: usize = 1024;
 
 struct Slot {
@@ -37,6 +41,9 @@ struct Slot {
 pub struct Hopscotch {
     slots: Vec<Slot>,
     locks: Vec<Mutex<()>>,
+    /// Serializes the (rare) displacement path, which reaches into other
+    /// buckets' neighborhoods and is not covered by one stripe lock.
+    displacement_lock: Mutex<()>,
     capacity: usize,
 }
 
@@ -59,11 +66,30 @@ impl Hopscotch {
     /// Try to move an element from the neighborhood window ending just
     /// before `free` closer to its own home, freeing an earlier slot.
     /// Returns the new free slot on success.
-    fn hop_backwards(&self, free: usize) -> Option<usize> {
+    ///
+    /// The caller must own `free` (hold its `RESERVED` claim), the stripe
+    /// lock `held_stripe` of the key being inserted, and the table-wide
+    /// displacement lock; the claim is transferred to the returned slot.
+    /// The move additionally takes the stripe lock of the *moved* key's
+    /// home (unless it is `held_stripe`), excluding a concurrent update or
+    /// erase of that key from racing with the copy; updaters/erasers take
+    /// only their own stripe lock and never the displacement lock, so lock
+    /// ordering stays acyclic.  `hop_info` words are modified with atomic
+    /// RMW ops because inserters under other stripe locks `fetch_or` them
+    /// concurrently.
+    fn hop_backwards(&self, free: usize, held_stripe: usize) -> Option<usize> {
         // Look at the H-1 slots before `free`; any element homed there whose
         // neighborhood still covers `free` can be moved into `free`.
         for distance in (1..H).rev() {
             let candidate_home = (free + self.capacity - distance) & (self.capacity - 1);
+            let candidate_stripe = candidate_home % LOCK_STRIPES;
+            let _stripe_guard = if candidate_stripe != held_stripe {
+                Some(self.locks[candidate_stripe].lock())
+            } else {
+                None
+            };
+            // Re-read under the candidate's stripe lock: the bitmap may
+            // have changed while the lock was being acquired.
             let info = self.slots[candidate_home].hop_info.load(Ordering::Acquire);
             // Find the earliest member of candidate_home's neighborhood.
             for offset in 0..distance {
@@ -74,17 +100,107 @@ impl Hopscotch {
                     let value = self.slots[from].value.load(Ordering::Acquire);
                     self.slots[free].value.store(value, Ordering::Release);
                     self.slots[free].key.store(key, Ordering::Release);
-                    let mut new_info = info & !(1 << offset);
-                    new_info |= 1 << (distance);
                     self.slots[candidate_home]
                         .hop_info
-                        .store(new_info, Ordering::Release);
-                    self.slots[from].key.store(EMPTY, Ordering::Release);
+                        .fetch_or(1 << distance, Ordering::AcqRel);
+                    self.slots[candidate_home]
+                        .hop_info
+                        .fetch_and(!(1u32 << offset), Ordering::AcqRel);
+                    self.slots[from].key.store(RESERVED, Ordering::Release);
                     return Some(from);
                 }
             }
         }
         None
+    }
+
+    /// Locate `k` in `home`'s neighborhood.  Returns `(slot index, hop
+    /// offset)`.  The stripe lock of `home` must be held.
+    fn slot_of(&self, home: usize, k: u64) -> Option<(usize, usize)> {
+        let info = self.slots[home].hop_info.load(Ordering::Acquire);
+        for offset in 0..H {
+            if info & (1 << offset) != 0 {
+                let idx = (home + offset) & (self.capacity - 1);
+                if self.slots[idx].key.load(Ordering::Acquire) == k {
+                    return Some((idx, offset));
+                }
+            }
+        }
+        None
+    }
+
+    /// Update `k` in place if present in its neighborhood.  The stripe lock
+    /// of `home` must be held.
+    fn update_locked(&self, home: usize, k: u64, d: u64, up: fn(u64, u64) -> u64) -> bool {
+        match self.slot_of(home, k) {
+            Some((idx, _)) => {
+                let cur = self.slots[idx].value.load(Ordering::Acquire);
+                self.slots[idx].value.store(up(cur, d), Ordering::Release);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Insert `k` (known absent from its neighborhood).  The stripe lock of
+    /// `home` must be held.  Returns `false` if no room can be made.
+    ///
+    /// The probe sequence may run past the stripe covered by `home`'s lock,
+    /// so the free slot is *claimed* with a CAS (`EMPTY → RESERVED`): two
+    /// inserts with different home buckets can race for the same empty cell
+    /// and only one wins it.  Displacement is additionally serialized by a
+    /// table-wide lock (it touches other buckets' neighborhoods); at the
+    /// 4× head-room this table allocates it is a cold path.
+    fn insert_locked(&self, home: usize, k: u64, v: u64) -> bool {
+        // Claim a free slot by linear probing from home.
+        let mut free = home;
+        let mut probed = 0usize;
+        loop {
+            if self.slots[free].key.load(Ordering::Acquire) == EMPTY
+                && self.slots[free]
+                    .key
+                    .compare_exchange(EMPTY, RESERVED, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                break;
+            }
+            free = (free + 1) & (self.capacity - 1);
+            probed += 1;
+            if probed >= self.capacity {
+                return false; // table full
+            }
+        }
+        // Hop the claimed slot back until it is within the neighborhood.
+        let mut distance = (free + self.capacity - home) & (self.capacity - 1);
+        if distance >= H {
+            let _displace = self.displacement_lock.lock();
+            while distance >= H {
+                match self.hop_backwards(free, home % LOCK_STRIPES) {
+                    Some(new_free) => {
+                        free = new_free;
+                        distance = (free + self.capacity - home) & (self.capacity - 1);
+                    }
+                    None => {
+                        // Cannot make room (would trigger resize): release
+                        // the claimed cell again.
+                        self.slots[free].key.store(EMPTY, Ordering::Release);
+                        return false;
+                    }
+                }
+            }
+        }
+        self.slots[free].value.store(v, Ordering::Release);
+        self.slots[free].key.store(k, Ordering::Release);
+        self.slots[home]
+            .hop_info
+            .fetch_or(1 << distance, Ordering::AcqRel);
+        true
+    }
+
+    /// `true` if `k` is present in its neighborhood.  The stripe lock of
+    /// `home` must be held (or torn reads accepted).
+    fn contains_locked(&self, home: usize, k: u64) -> bool {
+        self.slot_of(home, k).is_some()
     }
 }
 
@@ -105,6 +221,7 @@ impl ConcurrentMap for Hopscotch {
                 })
                 .collect(),
             locks: (0..LOCK_STRIPES).map(|_| Mutex::new(())).collect(),
+            displacement_lock: Mutex::new(()),
             capacity,
         }
     }
@@ -132,43 +249,10 @@ impl MapHandle for HopscotchHandle<'_> {
         let t = self.table;
         let home = t.home(k);
         let _guard = t.lock_for(home).lock();
-        // Already present?
-        let info = t.slots[home].hop_info.load(Ordering::Acquire);
-        for offset in 0..H {
-            if info & (1 << offset) != 0 {
-                let idx = (home + offset) & (t.capacity - 1);
-                if t.slots[idx].key.load(Ordering::Acquire) == k {
-                    return false;
-                }
-            }
+        if t.contains_locked(home, k) {
+            return false;
         }
-        // Find a free slot by linear probing from home.
-        let mut free = home;
-        let mut probed = 0usize;
-        while t.slots[free].key.load(Ordering::Acquire) != EMPTY {
-            free = (free + 1) & (t.capacity - 1);
-            probed += 1;
-            if probed >= t.capacity {
-                return false; // table full
-            }
-        }
-        // Hop the free slot back until it is within the neighborhood.
-        let mut distance = (free + t.capacity - home) & (t.capacity - 1);
-        while distance >= H {
-            match t.hop_backwards(free) {
-                Some(new_free) => {
-                    free = new_free;
-                    distance = (free + t.capacity - home) & (t.capacity - 1);
-                }
-                None => return false, // cannot make room (would trigger resize)
-            }
-        }
-        t.slots[free].value.store(v, Ordering::Release);
-        t.slots[free].key.store(k, Ordering::Release);
-        t.slots[home]
-            .hop_info
-            .fetch_or(1 << distance, Ordering::AcqRel);
-        true
+        t.insert_locked(home, k, v)
     }
 
     fn find(&mut self, k: Key) -> Option<Value> {
@@ -190,28 +274,28 @@ impl MapHandle for HopscotchHandle<'_> {
         let t = self.table;
         let home = t.home(k);
         let _guard = t.lock_for(home).lock();
-        let info = t.slots[home].hop_info.load(Ordering::Acquire);
-        for offset in 0..H {
-            if info & (1 << offset) != 0 {
-                let idx = (home + offset) & (t.capacity - 1);
-                if t.slots[idx].key.load(Ordering::Acquire) == k {
-                    let cur = t.slots[idx].value.load(Ordering::Acquire);
-                    t.slots[idx].value.store(up(cur, d), Ordering::Release);
-                    return true;
-                }
-            }
-        }
-        false
+        t.update_locked(home, k, d, up)
     }
 
-    fn insert_or_update(&mut self, k: Key, d: Value, up: fn(Value, Value) -> Value) -> InsertOrUpdate {
-        if self.update(k, d, up) {
+    fn insert_or_update(
+        &mut self,
+        k: Key,
+        d: Value,
+        up: fn(Value, Value) -> Value,
+    ) -> InsertOrUpdate {
+        // One critical section for the update-or-insert decision: composing
+        // the public `update` and `insert` would release the stripe lock in
+        // between and let a concurrent upsert of the same key drop this
+        // thread's update.
+        let t = self.table;
+        let home = t.home(k);
+        let _guard = t.lock_for(home).lock();
+        if t.update_locked(home, k, d, up) {
             InsertOrUpdate::Updated
-        } else if self.insert(k, d) {
+        } else if t.insert_locked(home, k, d) {
             InsertOrUpdate::Inserted
         } else {
-            // Lost an insert race inside the same lock cannot happen; if the
-            // table is full we count it as an update attempt on a best-effort
+            // Table full: count it as an update attempt on a best-effort
             // basis (mirrors the set-only interface of the original).
             InsertOrUpdate::Updated
         }
@@ -221,20 +305,16 @@ impl MapHandle for HopscotchHandle<'_> {
         let t = self.table;
         let home = t.home(k);
         let _guard = t.lock_for(home).lock();
-        let info = t.slots[home].hop_info.load(Ordering::Acquire);
-        for offset in 0..H {
-            if info & (1 << offset) != 0 {
-                let idx = (home + offset) & (t.capacity - 1);
-                if t.slots[idx].key.load(Ordering::Acquire) == k {
-                    t.slots[idx].key.store(EMPTY, Ordering::Release);
-                    t.slots[home]
-                        .hop_info
-                        .fetch_and(!(1 << offset), Ordering::AcqRel);
-                    return true;
-                }
+        match t.slot_of(home, k) {
+            Some((idx, offset)) => {
+                t.slots[idx].key.store(EMPTY, Ordering::Release);
+                t.slots[home]
+                    .hop_info
+                    .fetch_and(!(1 << offset), Ordering::AcqRel);
+                true
             }
+            None => false,
         }
-        false
     }
 }
 

@@ -62,7 +62,9 @@ impl Array {
             return Err(());
         }
         let mut index = scale(hash_key(key), self.capacity);
-        for step in 0..self.capacity.min(512) {
+        let mut step = 0usize;
+        let limit = self.capacity.min(512);
+        while step < limit {
             let stored = self.keys[index].load(Ordering::Acquire);
             if stored == key {
                 return Ok(false);
@@ -80,10 +82,15 @@ impl Array {
                         return Ok(true);
                     }
                     Err(actual) if actual == key => return Ok(false),
+                    // Lost the cell to a concurrent insert: re-examine the
+                    // SAME cell at the SAME step.  Consuming a probe step
+                    // here would desynchronize the strided sequence from
+                    // `find_slot`'s and park the key off the probe path.
                     Err(_) => continue,
                 }
             }
             index = self.probe(index, step, stride);
+            step += 1;
         }
         Err(())
     }
@@ -125,14 +132,24 @@ impl JunctionCore {
             return; // someone else already migrated
         }
         self.migrating.store(true, Ordering::SeqCst);
-        let new = Array::new(old.capacity * 2);
-        for i in 0..old.capacity {
-            let key = old.keys[i].load(Ordering::Acquire);
-            if key != EMPTY && key != TOMBSTONE {
-                let value = old.values[i].load(Ordering::Acquire);
-                let _ = new.insert(key, value, self.stride);
+        // If the copy hits the probe limit of the strided sequence (or the
+        // load-factor guard), the target is doubled again and the copy
+        // restarts: a dropped element here would be silently lost forever.
+        let mut new_capacity = old.capacity * 2;
+        let new = 'retry: loop {
+            let new = Array::new(new_capacity);
+            for i in 0..old.capacity {
+                let key = old.keys[i].load(Ordering::Acquire);
+                if key != EMPTY && key != TOMBSTONE {
+                    let value = old.values[i].load(Ordering::Acquire);
+                    if new.insert(key, value, self.stride).is_err() {
+                        new_capacity *= 2;
+                        continue 'retry;
+                    }
+                }
             }
-        }
+            break new;
+        };
         let retired = self.current.publish(Arc::new(new));
         self.migrating.store(false, Ordering::SeqCst);
         // The old array stays readable for in-flight readers until every
@@ -216,11 +233,21 @@ macro_rules! junction_table {
                                 while self.table.core.migrating.load(Ordering::SeqCst) {
                                     std::thread::yield_now();
                                 }
-                                let fresh = self.array();
-                                match fresh.find_slot(k, self.table.core.stride) {
-                                    Some(slot) => fresh.values[slot].store(v, Ordering::Release),
-                                    None => {
-                                        let _ = fresh.insert(k, v, self.table.core.stride);
+                                // Repair on the post-migration array; keep
+                                // retrying through further migrations rather
+                                // than dropping the element.
+                                loop {
+                                    let fresh = self.array();
+                                    let fresh_version = self.cached.cached_version();
+                                    if let Some(slot) =
+                                        fresh.find_slot(k, self.table.core.stride)
+                                    {
+                                        fresh.values[slot].store(v, Ordering::Release);
+                                        break;
+                                    }
+                                    match fresh.insert(k, v, self.table.core.stride) {
+                                        Ok(_) => break,
+                                        Err(()) => self.table.core.migrate(fresh_version),
                                     }
                                 }
                             }
@@ -374,7 +401,11 @@ mod tests {
         let mut h = t.handle();
         for start in 0..4u64 {
             for i in 0..5_000u64 {
-                assert_eq!(h.find(start * 1_000_000 + i + 2), Some(i), "start {start} i {i}");
+                assert_eq!(
+                    h.find(start * 1_000_000 + i + 2),
+                    Some(i),
+                    "start {start} i {i}"
+                );
             }
         }
     }

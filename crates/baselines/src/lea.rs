@@ -95,7 +95,12 @@ impl MapHandle for LeaHashHandle<'_> {
         false
     }
 
-    fn insert_or_update(&mut self, k: Key, d: Value, up: fn(Value, Value) -> Value) -> InsertOrUpdate {
+    fn insert_or_update(
+        &mut self,
+        k: Key,
+        d: Value,
+        up: fn(Value, Value) -> Value,
+    ) -> InsertOrUpdate {
         let mut bucket = self.table.bucket(k).lock();
         for entry in bucket.iter_mut() {
             if entry.0 == k {

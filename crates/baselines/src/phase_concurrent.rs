@@ -96,7 +96,12 @@ impl MapHandle for PhaseConcurrentHandle<'_> {
                 return false;
             }
             if stored == EMPTY {
-                match t.keys[index].compare_exchange(EMPTY, key, Ordering::AcqRel, Ordering::Acquire) {
+                match t.keys[index].compare_exchange(
+                    EMPTY,
+                    key,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
                     Ok(_) => {
                         t.values[index].store(value, Ordering::Release);
                         return true;
@@ -106,7 +111,12 @@ impl MapHandle for PhaseConcurrentHandle<'_> {
             }
             // Keep the larger key in the earlier cell (history independence).
             if stored < key && stored != EMPTY {
-                match t.keys[index].compare_exchange(stored, key, Ordering::AcqRel, Ordering::Acquire) {
+                match t.keys[index].compare_exchange(
+                    stored,
+                    key,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
                     Ok(_) => {
                         let displaced_value = t.values[index].swap(value, Ordering::AcqRel);
                         key = stored;
@@ -160,13 +170,32 @@ impl MapHandle for PhaseConcurrentHandle<'_> {
         false
     }
 
-    fn insert_or_update(&mut self, k: Key, d: Value, up: fn(Value, Value) -> Value) -> InsertOrUpdate {
+    fn insert_or_update(
+        &mut self,
+        k: Key,
+        d: Value,
+        up: fn(Value, Value) -> Value,
+    ) -> InsertOrUpdate {
+        // NOTE: this composition is only well-defined under the table's
+        // phase contract (InterfaceStyle::SyncPhases): operations of
+        // different kinds must not overlap, so concurrent upserts of the
+        // same key — which internally mix an insert phase with an update
+        // phase — are outside the modeled structure's guarantees (insert
+        // publishes the key before the value, so a racing updater could
+        // still read the transient zero).  Single-threaded and same-phase
+        // use is exact.
         if self.update(k, d, up) {
             InsertOrUpdate::Updated
         } else if self.insert(k, d) {
             InsertOrUpdate::Inserted
-        } else {
+        } else if self.update(k, d, up) {
+            // Insert lost a race with another insert of the same key: apply
+            // the update so the operation is never silently dropped.
             InsertOrUpdate::Updated
+        } else {
+            // Neither path made progress: the bounded table is full.
+            // Surfacing it beats silently reporting a dropped update.
+            panic!("phase-concurrent table full during insert_or_update")
         }
     }
 

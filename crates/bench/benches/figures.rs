@@ -6,9 +6,9 @@
 //! `cargo bench` terminates quickly; use the binary for full sweeps.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use growt_baselines::{Cuckoo, FollyStyle, LeaHash, TbbHashMap};
 use growt_bench::GROWING_INITIAL;
 use growt_core::{Folklore, TsxFolklore, UaGrow, UsGrow};
-use growt_baselines::{Cuckoo, FollyStyle, LeaHash, TbbHashMap};
 use growt_iface::ConcurrentMap;
 use growt_seq::SeqGrowingTable;
 use growt_workloads::{

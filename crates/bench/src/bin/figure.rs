@@ -23,10 +23,18 @@ fn parse_args() -> (Vec<String>, HarnessConfig) {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--ops" => {
-                cfg.ops = args.next().expect("--ops N").parse().expect("numeric --ops");
+                cfg.ops = args
+                    .next()
+                    .expect("--ops N")
+                    .parse()
+                    .expect("numeric --ops");
             }
             "--reps" => {
-                cfg.reps = args.next().expect("--reps R").parse().expect("numeric --reps");
+                cfg.reps = args
+                    .next()
+                    .expect("--reps R")
+                    .parse()
+                    .expect("numeric --reps");
             }
             "--threads" => {
                 cfg.threads = args
@@ -62,7 +70,10 @@ fn parse_args() -> (Vec<String>, HarnessConfig) {
 }
 
 fn run(id: &str, cfg: &HarnessConfig) {
-    eprintln!("[figure] running {id} (ops = {}, threads = {:?})", cfg.ops, cfg.threads);
+    eprintln!(
+        "[figure] running {id} (ops = {}, threads = {:?})",
+        cfg.ops, cfg.threads
+    );
     let output = match id {
         "table1" => table1(),
         "fig2a" => fig2a(cfg).to_tsv(),
@@ -92,9 +103,26 @@ fn run(id: &str, cfg: &HarnessConfig) {
 fn main() {
     let (ids, cfg) = parse_args();
     let all = [
-        "table1", "fig2a", "fig2b", "fig3a", "fig3b", "fig4a", "fig4b", "fig5a", "fig5b",
-        "fig6", "fig7a", "fig7b", "fig8a", "fig8b", "fig9a", "fig9b", "fig10", "fig11a",
-        "fig11b", "ablation_block",
+        "table1",
+        "fig2a",
+        "fig2b",
+        "fig3a",
+        "fig3b",
+        "fig4a",
+        "fig4b",
+        "fig5a",
+        "fig5b",
+        "fig6",
+        "fig7a",
+        "fig7b",
+        "fig8a",
+        "fig8b",
+        "fig9a",
+        "fig9b",
+        "fig10",
+        "fig11a",
+        "fig11b",
+        "ablation_block",
     ];
     for id in &ids {
         if id == "all" {

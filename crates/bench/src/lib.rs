@@ -86,7 +86,10 @@ fn prefill_for<M: ConcurrentMap>(table: &M, keys: &[u64]) {
     }
 }
 
-fn insert_series<M: ConcurrentMap>(cfg: &HarnessConfig, capacity_of: impl Fn(usize) -> usize) -> Series {
+fn insert_series<M: ConcurrentMap>(
+    cfg: &HarnessConfig,
+    capacity_of: impl Fn(usize) -> usize,
+) -> Series {
     let mut series = Series::new(M::table_name());
     for &p in &cfg.threads {
         let mut reps = Repetitions::new();
@@ -160,7 +163,11 @@ fn zipf_find_series<M: ConcurrentMap>(cfg: &HarnessConfig, universe: u64) -> Ser
     series
 }
 
-fn aggregation_series<M: ConcurrentMap>(cfg: &HarnessConfig, universe: u64, growing: bool) -> Series {
+fn aggregation_series<M: ConcurrentMap>(
+    cfg: &HarnessConfig,
+    universe: u64,
+    growing: bool,
+) -> Series {
     let mut series = Series::new(M::table_name());
     for &s in &cfg.zipf_s {
         let keys = zipf_keys(cfg.ops, universe, s, 4400 + (s * 100.0) as u64);
@@ -277,7 +284,11 @@ pub fn fig2b(cfg: &HarnessConfig) -> Figure {
 
 /// Fig. 3a: successful finds.  Fig. 3b: unsuccessful finds.
 pub fn fig3(cfg: &HarnessConfig, successful: bool) -> Figure {
-    let id = if successful { "fig3a-find-successful" } else { "fig3b-find-unsuccessful" };
+    let id = if successful {
+        "fig3a-find-successful"
+    } else {
+        "fig3b-find-unsuccessful"
+    };
     let mut fig = Figure::new(id, "threads");
     macro_rules! series {
         ($t:ty) => {
@@ -308,7 +319,11 @@ pub fn fig3(cfg: &HarnessConfig, successful: bool) -> Figure {
 pub fn fig4a(cfg: &HarnessConfig) -> Figure {
     let universe = (cfg.ops as u64).max(1 << 14);
     let mut fig = Figure::new("fig4a-update-contention", "zipf-s");
-    macro_rules! series { ($t:ty) => { fig.push(zipf_update_series::<$t>(cfg, universe)); }; }
+    macro_rules! series {
+        ($t:ty) => {
+            fig.push(zipf_update_series::<$t>(cfg, universe));
+        };
+    }
     series!(SeqTable);
     series!(Folklore);
     series!(UaGrow);
@@ -331,7 +346,11 @@ pub fn fig4a(cfg: &HarnessConfig) -> Figure {
 pub fn fig4b(cfg: &HarnessConfig) -> Figure {
     let universe = (cfg.ops as u64).max(1 << 14);
     let mut fig = Figure::new("fig4b-find-contention", "zipf-s");
-    macro_rules! series { ($t:ty) => { fig.push(zipf_find_series::<$t>(cfg, universe)); }; }
+    macro_rules! series {
+        ($t:ty) => {
+            fig.push(zipf_find_series::<$t>(cfg, universe));
+        };
+    }
     series!(SeqTable);
     series!(Folklore);
     series!(UaGrow);
@@ -354,9 +373,17 @@ pub fn fig4b(cfg: &HarnessConfig) -> Figure {
 /// participate (paper §8.4).
 pub fn fig5(cfg: &HarnessConfig, growing: bool) -> Figure {
     let universe = (cfg.ops as u64).max(1 << 14);
-    let id = if growing { "fig5b-aggregation-growing" } else { "fig5a-aggregation-preinitialized" };
+    let id = if growing {
+        "fig5b-aggregation-growing"
+    } else {
+        "fig5a-aggregation-preinitialized"
+    };
     let mut fig = Figure::new(id, "zipf-s");
-    macro_rules! series { ($t:ty) => { fig.push(aggregation_series::<$t>(cfg, universe, growing)); }; }
+    macro_rules! series {
+        ($t:ty) => {
+            fig.push(aggregation_series::<$t>(cfg, universe, growing));
+        };
+    }
     series!(SeqGrowingTable);
     series!(UaGrow);
     series!(UsGrow);
@@ -378,7 +405,11 @@ pub fn fig5(cfg: &HarnessConfig, growing: bool) -> Figure {
 pub fn fig6(cfg: &HarnessConfig) -> Figure {
     let mut fig = Figure::new("fig6-deletions", "threads");
     let grid: Vec<usize> = cfg.threads.clone();
-    macro_rules! series { ($t:ty) => { fig.push(deletion_series::<$t>(cfg, &grid)); }; }
+    macro_rules! series {
+        ($t:ty) => {
+            fig.push(deletion_series::<$t>(cfg, &grid));
+        };
+    }
     series!(SeqGrowingTable);
     series!(UaGrow);
     series!(UsGrow);
@@ -395,9 +426,17 @@ pub fn fig6(cfg: &HarnessConfig) -> Figure {
 
 /// Fig. 7a/7b: mixed insertions and finds over the write percentage.
 pub fn fig7(cfg: &HarnessConfig, growing: bool) -> Figure {
-    let id = if growing { "fig7b-mixed-growing" } else { "fig7a-mixed-preinitialized" };
+    let id = if growing {
+        "fig7b-mixed-growing"
+    } else {
+        "fig7a-mixed-preinitialized"
+    };
     let mut fig = Figure::new(id, "write-percent");
-    macro_rules! series { ($t:ty) => { fig.push(mixed_series::<$t>(cfg, growing)); }; }
+    macro_rules! series {
+        ($t:ty) => {
+            fig.push(mixed_series::<$t>(cfg, growing));
+        };
+    }
     series!(SeqGrowingTable);
     if !growing {
         series!(Folklore);
@@ -420,7 +459,11 @@ pub fn fig7(cfg: &HarnessConfig, growing: bool) -> Figure {
 /// Fig. 8a: pool-based vs. enslavement-based growing, insertions.
 pub fn fig8a(cfg: &HarnessConfig) -> Figure {
     let mut fig = Figure::new("fig8a-pool-vs-enslavement-insert", "threads");
-    macro_rules! series { ($t:ty) => { fig.push(insert_series::<$t>(cfg, |_| GROWING_INITIAL)); }; }
+    macro_rules! series {
+        ($t:ty) => {
+            fig.push(insert_series::<$t>(cfg, |_| GROWING_INITIAL));
+        };
+    }
     series!(UaGrow);
     series!(UsGrow);
     series!(PaGrow);
@@ -432,7 +475,11 @@ pub fn fig8a(cfg: &HarnessConfig) -> Figure {
 pub fn fig8b(cfg: &HarnessConfig) -> Figure {
     let mut fig = Figure::new("fig8b-pool-vs-enslavement-deletions", "threads");
     let grid: Vec<usize> = cfg.threads.clone();
-    macro_rules! series { ($t:ty) => { fig.push(deletion_series::<$t>(cfg, &grid)); }; }
+    macro_rules! series {
+        ($t:ty) => {
+            fig.push(deletion_series::<$t>(cfg, &grid));
+        };
+    }
     series!(UaGrow);
     series!(UsGrow);
     series!(PaGrow);
@@ -443,10 +490,18 @@ pub fn fig8b(cfg: &HarnessConfig) -> Figure {
 /// Fig. 9a/9b: simulated-HTM ("TSX") variants against the plain variants,
 /// insertions without (9a) and with (9b) growing.
 pub fn fig9(cfg: &HarnessConfig, growing: bool) -> Figure {
-    let id = if growing { "fig9b-htm-insert-growing" } else { "fig9a-htm-insert-preinitialized" };
+    let id = if growing {
+        "fig9b-htm-insert-growing"
+    } else {
+        "fig9a-htm-insert-preinitialized"
+    };
     let mut fig = Figure::new(id, "threads");
     let capacity_of = |ops: usize| if growing { GROWING_INITIAL } else { ops };
-    macro_rules! series { ($t:ty) => { fig.push(insert_series::<$t>(cfg, capacity_of)); }; }
+    macro_rules! series {
+        ($t:ty) => {
+            fig.push(insert_series::<$t>(cfg, capacity_of));
+        };
+    }
     series!(Folklore);
     series!(TsxFolklore);
     series!(UaGrow);
@@ -460,7 +515,8 @@ pub fn fig9(cfg: &HarnessConfig, growing: bool) -> Figure {
 /// different initial capacities.  Returns rows of
 /// `(table, init-capacity-factor, bytes, MOps/s)`.
 pub fn fig10(cfg: &HarnessConfig) -> String {
-    let mut out = String::from("# fig10-memory-vs-throughput\ntable\tinit-factor\tapprox-bytes\tmops\n");
+    let mut out =
+        String::from("# fig10-memory-vs-throughput\ntable\tinit-factor\tapprox-bytes\tmops\n");
     let factors: &[(f64, &str)] = &[
         (0.0, "4096"),
         (0.5, "0.5x"),
@@ -490,7 +546,11 @@ pub fn fig10(cfg: &HarnessConfig) -> String {
         let table = M::with_capacity(capacity);
         prefill_for::<M>(&table, keys);
         let after = growt_alloc_track::current_bytes();
-        let m = find_driver(&table, misses, effective_threads::<M>(cfg.contention_threads));
+        let m = find_driver(
+            &table,
+            misses,
+            effective_threads::<M>(cfg.contention_threads),
+        );
         out.push_str(&format!(
             "{}\t{}\t{}\t{:.3}\n",
             M::table_name(),
@@ -504,9 +564,22 @@ pub fn fig10(cfg: &HarnessConfig) -> String {
         ($t:ty) => {
             for &(factor, label) in factors {
                 // Non-growing tables cannot start below the element count.
-                run_one::<$t>(&mut out, cfg, &keys, &misses, factor.max(
-                    if <$t as ConcurrentMap>::capabilities().growing == growt_iface::GrowthSupport::None { 1.0 } else { factor }
-                ), label);
+                run_one::<$t>(
+                    &mut out,
+                    cfg,
+                    &keys,
+                    &misses,
+                    factor.max(
+                        if <$t as ConcurrentMap>::capabilities().growing
+                            == growt_iface::GrowthSupport::None
+                        {
+                            1.0
+                        } else {
+                            factor
+                        },
+                    ),
+                    label,
+                );
             }
         };
     }
@@ -632,10 +705,25 @@ mod tests {
     fn table1_lists_all_tables() {
         let t = table1();
         for name in [
-            "uaGrow", "usGrow", "paGrow", "psGrow", "folklore", "tsxfolklore", "cuckoo",
-            "folly", "rcu-urcu", "rcu-qsbr", "hopscotch", "LeaHash", "phase-concurrent",
-            "junction-linear", "junction-leapfrog", "tbb-hash-map", "tbb-unordered-map",
-            "sequential", "sequential-growing",
+            "uaGrow",
+            "usGrow",
+            "paGrow",
+            "psGrow",
+            "folklore",
+            "tsxfolklore",
+            "cuckoo",
+            "folly",
+            "rcu-urcu",
+            "rcu-qsbr",
+            "hopscotch",
+            "LeaHash",
+            "phase-concurrent",
+            "junction-linear",
+            "junction-leapfrog",
+            "tbb-hash-map",
+            "tbb-unordered-map",
+            "sequential",
+            "sequential-growing",
         ] {
             assert!(t.contains(name), "missing {name} in table 1");
         }
@@ -656,9 +744,15 @@ mod tests {
     fn smoke_contention_and_aggregation() {
         let cfg = smoke_config();
         let f4a = fig4a(&cfg);
-        assert!(f4a.series.iter().all(|s| s.points.len() == cfg.zipf_s.len()));
+        assert!(f4a
+            .series
+            .iter()
+            .all(|s| s.points.len() == cfg.zipf_s.len()));
         let f5b = fig5(&cfg, true);
-        assert!(f5b.series.iter().all(|s| s.points.iter().all(|&(_, y)| y >= 0.0)));
+        assert!(f5b
+            .series
+            .iter()
+            .all(|s| s.points.iter().all(|&(_, y)| y >= 0.0)));
     }
 
     #[test]

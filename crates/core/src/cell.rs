@@ -191,7 +191,10 @@ impl Cell {
         // paper's most important property (find never writes).
         let lock = fallback::stripe_for(self as *const Cell as usize);
         let _guard = lock.lock();
-        let (k, v) = (self.key.load(Ordering::Relaxed), self.value.load(Ordering::Relaxed));
+        let (k, v) = (
+            self.key.load(Ordering::Relaxed),
+            self.value.load(Ordering::Relaxed),
+        );
         let observed = pack(k, v);
         if observed == expected {
             let (nk, nv) = unpack(new);

@@ -123,12 +123,10 @@ impl StringKeyTable {
             if current == 0 {
                 let ptr = *allocation.get_or_insert_with(|| Self::allocate_key(key));
                 let packed = (signature << POINTER_BITS) | ptr as u64;
-                match cell.keyref.compare_exchange(
-                    0,
-                    packed,
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                ) {
+                match cell
+                    .keyref
+                    .compare_exchange(0, packed, Ordering::AcqRel, Ordering::Acquire)
+                {
                     Ok(_) => {
                         cell.value.store(value, Ordering::Release);
                         return true;
@@ -283,7 +281,9 @@ mod tests {
     #[test]
     fn concurrent_string_aggregation() {
         let t = Arc::new(StringKeyTable::with_capacity(1000));
-        let words = ["the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog"];
+        let words = [
+            "the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog",
+        ];
         std::thread::scope(|s| {
             for _ in 0..4 {
                 let t = Arc::clone(&t);

@@ -121,7 +121,10 @@ mod tests {
         let mut hashes: Vec<u64> = (0..4000u64).map(hash_key).collect();
         hashes.sort_unstable();
         let small: Vec<usize> = hashes.iter().map(|&h| scale_to_capacity(h, c)).collect();
-        let large: Vec<usize> = hashes.iter().map(|&h| scale_to_capacity(h, 2 * c)).collect();
+        let large: Vec<usize> = hashes
+            .iter()
+            .map(|&h| scale_to_capacity(h, 2 * c))
+            .collect();
         for w in small.windows(2).zip(large.windows(2)) {
             assert!(w.0[0] <= w.0[1]);
             assert!(w.1[0] <= w.1[1]);

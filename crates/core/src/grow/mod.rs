@@ -33,9 +33,7 @@ use crate::cell::MAX_MARKABLE_KEY;
 use crate::config::{capacity_for, GrowConfig};
 use crate::count::{GlobalCount, LocalCount};
 use crate::migrate::{migrate_block_exclusive, migrate_block_marking, migrate_block_rehash};
-use crate::table::{
-    BoundedTable, EraseOutcome, InsertOutcome, UpdateOutcome, UpsertOutcome,
-};
+use crate::table::{BoundedTable, EraseOutcome, InsertOutcome, UpdateOutcome, UpsertOutcome};
 
 use pool::{MigrationPool, PoolShared};
 
@@ -508,7 +506,9 @@ impl<'a> GrowHandle<'a> {
         if refreshed {
             self.local = LocalCount::new(
                 self.inner.options.threads_hint,
-                self.inner.handle_seed.fetch_add(0x9E37_79B9, Ordering::Relaxed),
+                self.inner
+                    .handle_seed
+                    .fetch_add(0x9E37_79B9, Ordering::Relaxed),
             );
         }
         Arc::clone(table)
@@ -573,7 +573,10 @@ impl<'a> GrowHandle<'a> {
 
     /// Insert `⟨k, v⟩`; returns `true` iff the key was not present.
     pub fn insert(&mut self, key: u64, value: u64) -> bool {
-        assert!(key >= 2 && key <= MAX_MARKABLE_KEY, "key {key} is reserved");
+        assert!(
+            (2..=MAX_MARKABLE_KEY).contains(&key),
+            "key {key} is reserved"
+        );
         loop {
             self.begin_op();
             let table = self.table();
@@ -643,7 +646,10 @@ impl<'a> GrowHandle<'a> {
         d: u64,
         up: impl Fn(u64, u64) -> u64 + Copy,
     ) -> bool {
-        assert!(key >= 2 && key <= MAX_MARKABLE_KEY, "key {key} is reserved");
+        assert!(
+            (2..=MAX_MARKABLE_KEY).contains(&key),
+            "key {key} is reserved"
+        );
         loop {
             self.begin_op();
             let table = self.table();
@@ -665,7 +671,10 @@ impl<'a> GrowHandle<'a> {
     /// protocol allows it (§8.4, aggregation benchmark).
     pub fn insert_or_increment(&mut self, key: u64, d: u64) -> bool {
         if self.inner.synchronized() {
-            assert!(key >= 2 && key <= MAX_MARKABLE_KEY, "key {key} is reserved");
+            assert!(
+                (2..=MAX_MARKABLE_KEY).contains(&key),
+                "key {key} is reserved"
+            );
             loop {
                 self.begin_op();
                 let table = self.table();
@@ -737,10 +746,22 @@ mod tests {
 
     fn all_variants() -> Vec<(&'static str, GrowingOptions)> {
         vec![
-            ("uaGrow", options(GrowStrategy::Enslave, Consistency::AsyncMarking)),
-            ("usGrow", options(GrowStrategy::Enslave, Consistency::Synchronized)),
-            ("paGrow", options(GrowStrategy::Pool, Consistency::AsyncMarking)),
-            ("psGrow", options(GrowStrategy::Pool, Consistency::Synchronized)),
+            (
+                "uaGrow",
+                options(GrowStrategy::Enslave, Consistency::AsyncMarking),
+            ),
+            (
+                "usGrow",
+                options(GrowStrategy::Enslave, Consistency::Synchronized),
+            ),
+            (
+                "paGrow",
+                options(GrowStrategy::Pool, Consistency::AsyncMarking),
+            ),
+            (
+                "psGrow",
+                options(GrowStrategy::Pool, Consistency::Synchronized),
+            ),
         ]
     }
 
@@ -793,7 +814,10 @@ mod tests {
             for key in 2..2 + threads * per_thread {
                 assert_eq!(handle.find(key), Some(key), "{name}: find {key}");
             }
-            assert!(table.migrations_completed() >= 5, "{name}: too few migrations");
+            assert!(
+                table.migrations_completed() >= 5,
+                "{name}: too few migrations"
+            );
         }
     }
 
@@ -870,7 +894,10 @@ mod tests {
                 assert!(handle.erase(key - window), "erase {}", key - window);
             }
         }
-        assert!(table.migrations_completed() > 0, "cleanup migration never ran");
+        assert!(
+            table.migrations_completed() > 0,
+            "cleanup migration never ran"
+        );
         // The live window is intact.
         for i in 40_000 - window..40_000 {
             assert_eq!(handle.find(2 + i), Some(2 + i));
@@ -987,7 +1014,6 @@ mod tests {
         }));
         assert!(result.is_err());
     }
-// appended temporarily to grow/mod.rs tests
     #[test]
     fn pool_variant_pure_updates_during_prefill_growth() {
         // Pure updates on a prefilled table that still migrates once.
@@ -1015,7 +1041,11 @@ mod tests {
         });
         let mut handle = table.handle();
         let total: u64 = (2..502u64).map(|k| handle.find(k).unwrap()).sum();
-        assert_eq!(total, threads * per_thread, "pa update-only lost increments");
+        assert_eq!(
+            total,
+            threads * per_thread,
+            "pa update-only lost increments"
+        );
     }
 
     #[test]
@@ -1040,9 +1070,12 @@ mod tests {
         });
         let mut handle = table.handle();
         let total: u64 = (2..2 + distinct).map(|k| handle.find(k).unwrap_or(0)).sum();
-        assert_eq!(total, threads * per_thread, "pa no-migration lost increments");
+        assert_eq!(
+            total,
+            threads * per_thread,
+            "pa no-migration lost increments"
+        );
     }
-
 
     #[test]
     // Regression test for the full-table migration recovery (a completely
@@ -1082,5 +1115,4 @@ mod tests {
         assert_eq!(table.size_exact_quiescent(), distinct as usize);
         assert_eq!(total, threads * per_thread);
     }
-
 }

@@ -189,14 +189,14 @@ mod tests {
         let table = FullKeyspaceTable::new(64);
         let mut h = table.handle();
         let keys = [
-            0u64,                 // EMPTY_KEY sentinel
-            1,                    // DEL_KEY sentinel
-            2,                    // ordinary low key
-            MARK_BIT,             // marked-empty sentinel
-            MARK_BIT | 1,         // marked-deleted sentinel
-            MARK_BIT | 42,        // ordinary high key
-            u64::MAX,             // highest possible key
-            (1 << 63) - 1,        // highest low key
+            0u64,          // EMPTY_KEY sentinel
+            1,             // DEL_KEY sentinel
+            2,             // ordinary low key
+            MARK_BIT,      // marked-empty sentinel
+            MARK_BIT | 1,  // marked-deleted sentinel
+            MARK_BIT | 42, // ordinary high key
+            u64::MAX,      // highest possible key
+            (1 << 63) - 1, // highest low key
         ];
         for (i, &k) in keys.iter().enumerate() {
             assert!(h.insert(k, i as u64 + 100), "insert {k:#x}");

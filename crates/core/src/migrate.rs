@@ -192,7 +192,11 @@ pub fn migrate_block_rehash(
     block_end: usize,
     mark: bool,
 ) -> usize {
-    let mode = if mark { FreezeMode::Mark } else { FreezeMode::Plain };
+    let mode = if mark {
+        FreezeMode::Mark
+    } else {
+        FreezeMode::Plain
+    };
     let mut migrated = 0usize;
     for index in block_start..block_end {
         let (key, value) = freeze(src, index, mode);
@@ -227,7 +231,10 @@ mod tests {
 
     fn fill(table: &BoundedTable, keys: &[u64]) {
         for &k in keys {
-            assert!(matches!(table.insert(k, k * 10), InsertOutcome::Inserted { .. }));
+            assert!(matches!(
+                table.insert(k, k.wrapping_mul(10)),
+                InsertOutcome::Inserted { .. }
+            ));
         }
     }
 
@@ -243,7 +250,10 @@ mod tests {
         // Simple deterministic distinct keys spread over the key space,
         // avoiding the sentinel encodings and the reserved mark bit.
         (0..n as u64)
-            .map(|i| (crate::config::hash_key(i * 2654435761 + seed) | 0x100) & crate::cell::MAX_MARKABLE_KEY)
+            .map(|i| {
+                (crate::config::hash_key(i * 2654435761 + seed) | 0x100)
+                    & crate::cell::MAX_MARKABLE_KEY
+            })
             .collect()
     }
 
@@ -259,7 +269,7 @@ mod tests {
         let after = reference_contents(&dst);
         assert_eq!(before, after);
         for &k in &keys {
-            assert_eq!(dst.find(k), Some(k * 10));
+            assert_eq!(dst.find(k), Some(k.wrapping_mul(10)));
         }
     }
 
@@ -273,7 +283,11 @@ mod tests {
         let dst = BoundedTable::with_cells(1 << 11, 1);
         migrate_all_sequential(&src, &dst);
         for &k in &keys {
-            assert_eq!(dst.find(k), Some(k * 10), "key {k} lost by migration");
+            assert_eq!(
+                dst.find(k),
+                Some(k.wrapping_mul(10)),
+                "key {k} lost by migration"
+            );
         }
     }
 
@@ -306,7 +320,7 @@ mod tests {
         });
         assert_eq!(total.load(Ordering::Relaxed), keys.len());
         for &k in &keys {
-            assert_eq!(dst.find(k), Some(k * 10));
+            assert_eq!(dst.find(k), Some(k.wrapping_mul(10)));
         }
         // Every source cell (incl. empty ones) must have been frozen so no
         // late insertion can sneak into the retired table.
@@ -367,7 +381,7 @@ mod tests {
         let (live, tomb, _) = dst.scan_counts();
         assert_eq!((live, tomb), (200, 0));
         for &k in keys.iter().skip(100) {
-            assert_eq!(dst.find(k), Some(k * 10));
+            assert_eq!(dst.find(k), Some(k.wrapping_mul(10)));
         }
         for &k in keys.iter().take(100) {
             assert_eq!(dst.find(k), None);
@@ -400,14 +414,15 @@ mod tests {
                     if b >= nblocks {
                         break;
                     }
-                    let n = migrate_block_rehash(src_ref, dst_ref, b * block, (b + 1) * block, true);
+                    let n =
+                        migrate_block_rehash(src_ref, dst_ref, b * block, (b + 1) * block, true);
                     migrated.fetch_add(n, Ordering::Relaxed);
                 });
             }
         });
         assert_eq!(migrated.load(Ordering::Relaxed), 100);
         for &k in keys.iter().skip(300) {
-            assert_eq!(dst.find(k), Some(k * 10));
+            assert_eq!(dst.find(k), Some(k.wrapping_mul(10)));
         }
     }
 
@@ -437,10 +452,9 @@ mod tests {
         let mut keys = Vec::new();
         let mut k = 2u64;
         while keys.len() < 6 {
-            if src.home_cell(k) >= 61 {
-                if matches!(src.insert(k, k), InsertOutcome::Inserted { .. }) {
-                    keys.push(k);
-                }
+            if src.home_cell(k) >= 61 && matches!(src.insert(k, k), InsertOutcome::Inserted { .. })
+            {
+                keys.push(k);
             }
             k += 1;
         }

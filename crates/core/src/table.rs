@@ -85,7 +85,10 @@ impl BoundedTable {
     /// Create a table with exactly `capacity` cells (must be a power of
     /// two) and the given generation number.
     pub fn with_cells(capacity: usize, version: u64) -> Self {
-        assert!(capacity.is_power_of_two(), "capacity must be a power of two");
+        assert!(
+            capacity.is_power_of_two(),
+            "capacity must be a power of two"
+        );
         let cells: Box<[Cell]> = (0..capacity).map(|_| Cell::new()).collect();
         BoundedTable {
             cells,
@@ -157,7 +160,11 @@ impl BoundedTable {
     /// Insert `⟨key, value⟩` if the key is not yet present.
     pub fn insert(&self, key: u64, value: u64) -> InsertOutcome {
         debug_assert!(!crate::cell::is_sentinel(key));
-        debug_assert_eq!(key & MARK_BIT, 0, "application keys must not use the mark bit");
+        debug_assert_eq!(
+            key & MARK_BIT,
+            0,
+            "application keys must not use the mark bit"
+        );
         let mut index = self.home_cell(key);
         let limit = self.capacity.min(PROBE_LIMIT);
         let mut probe = 0usize;
@@ -197,7 +204,9 @@ impl BoundedTable {
             let cell = self.cell(index);
             loop {
                 let (stored_key, stored_value) = cell.read();
-                if stored_key == EMPTY_KEY || (is_marked(stored_key) && unmark(stored_key) == EMPTY_KEY) {
+                if stored_key == EMPTY_KEY
+                    || (is_marked(stored_key) && unmark(stored_key) == EMPTY_KEY)
+                {
                     return UpdateOutcome::NotFound;
                 }
                 if is_marked(stored_key) && unmark(stored_key) == key {
@@ -324,7 +333,9 @@ impl BoundedTable {
             let cell = self.cell(index);
             loop {
                 let (stored_key, stored_value) = cell.read();
-                if stored_key == EMPTY_KEY || (is_marked(stored_key) && unmark(stored_key) == EMPTY_KEY) {
+                if stored_key == EMPTY_KEY
+                    || (is_marked(stored_key) && unmark(stored_key) == EMPTY_KEY)
+                {
                     return EraseOutcome::NotFound;
                 }
                 if is_marked(stored_key) && unmark(stored_key) == key {
@@ -421,9 +432,15 @@ mod tests {
     fn update_existing_and_missing() {
         let t = BoundedTable::with_expected_elements(64);
         t.insert(5, 10);
-        assert_eq!(t.update_with(5, 7, |cur, d| cur + d), UpdateOutcome::Updated);
+        assert_eq!(
+            t.update_with(5, 7, |cur, d| cur + d),
+            UpdateOutcome::Updated
+        );
         assert_eq!(t.find(5), Some(17));
-        assert_eq!(t.update_with(6, 7, |cur, d| cur + d), UpdateOutcome::NotFound);
+        assert_eq!(
+            t.update_with(6, 7, |cur, d| cur + d),
+            UpdateOutcome::NotFound
+        );
         assert_eq!(
             t.update_overwrite_unsynchronized(5, 99),
             UpdateOutcome::Updated
@@ -442,8 +459,14 @@ mod tests {
         assert_eq!(t.upsert_with(9, 1, |c, d| c + d), UpsertOutcome::Updated);
         assert_eq!(t.upsert_with(9, 5, |c, d| c + d), UpsertOutcome::Updated);
         assert_eq!(t.find(9), Some(7));
-        assert_eq!(t.upsert_fetch_add_unsynchronized(11, 3), UpsertOutcome::Inserted);
-        assert_eq!(t.upsert_fetch_add_unsynchronized(11, 4), UpsertOutcome::Updated);
+        assert_eq!(
+            t.upsert_fetch_add_unsynchronized(11, 3),
+            UpsertOutcome::Inserted
+        );
+        assert_eq!(
+            t.upsert_fetch_add_unsynchronized(11, 4),
+            UpsertOutcome::Updated
+        );
         assert_eq!(t.find(11), Some(7));
     }
 

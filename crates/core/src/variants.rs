@@ -80,7 +80,12 @@ impl MapHandle for FolkloreHandle<'_> {
         self.table.update_with(k, d, up) == UpdateOutcome::Updated
     }
 
-    fn insert_or_update(&mut self, k: Key, d: Value, up: fn(Value, Value) -> Value) -> InsertOrUpdate {
+    fn insert_or_update(
+        &mut self,
+        k: Key,
+        d: Value,
+        up: fn(Value, Value) -> Value,
+    ) -> InsertOrUpdate {
         match self.table.upsert_with(k, d, up) {
             UpsertOutcome::Inserted => InsertOrUpdate::Inserted,
             _ => InsertOrUpdate::Updated,
@@ -189,10 +194,17 @@ impl MapHandle for TsxFolkloreHandle<'_> {
     }
 
     fn update(&mut self, k: Key, d: Value, up: fn(Value, Value) -> Value) -> bool {
-        self.transactional(k, || self.table.update_with(k, d, up) == UpdateOutcome::Updated)
+        self.transactional(k, || {
+            self.table.update_with(k, d, up) == UpdateOutcome::Updated
+        })
     }
 
-    fn insert_or_update(&mut self, k: Key, d: Value, up: fn(Value, Value) -> Value) -> InsertOrUpdate {
+    fn insert_or_update(
+        &mut self,
+        k: Key,
+        d: Value,
+        up: fn(Value, Value) -> Value,
+    ) -> InsertOrUpdate {
         self.transactional(k, || match self.table.upsert_with(k, d, up) {
             UpsertOutcome::Inserted => InsertOrUpdate::Inserted,
             _ => InsertOrUpdate::Updated,
@@ -204,9 +216,11 @@ impl MapHandle for TsxFolkloreHandle<'_> {
     }
 
     fn insert_or_increment(&mut self, k: Key, d: Value) -> InsertOrUpdate {
-        self.transactional(k, || match self.table.upsert_fetch_add_unsynchronized(k, d) {
-            UpsertOutcome::Inserted => InsertOrUpdate::Inserted,
-            _ => InsertOrUpdate::Updated,
+        self.transactional(k, || {
+            match self.table.upsert_fetch_add_unsynchronized(k, d) {
+                UpsertOutcome::Inserted => InsertOrUpdate::Inserted,
+                _ => InsertOrUpdate::Updated,
+            }
         })
     }
 

@@ -105,7 +105,9 @@ impl HtmDomain {
     pub fn new(stripes: usize) -> Self {
         let n = stripes.next_power_of_two().max(1);
         HtmDomain {
-            stripes: (0..n).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            stripes: (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
             mask: n - 1,
             stats: TxStats::default(),
             max_attempts: 8,

@@ -146,7 +146,12 @@ impl EpochHandle {
         self.state.epoch.store(epoch, Ordering::Release);
         self.state.pinned.store(true, Ordering::Release);
         // Throttle epoch advancement: only every few pins.
-        if self.domain.pin_counter.fetch_add(1, Ordering::Relaxed) % 64 == 0 {
+        if self
+            .domain
+            .pin_counter
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(64)
+        {
             self.domain.try_advance();
             self.domain.collect();
         }
@@ -228,7 +233,10 @@ mod tests {
         domain.try_advance();
         domain.try_advance();
         let after = domain.global_epoch.load(Ordering::SeqCst);
-        assert!(after <= before + 1, "epoch advanced past pinned participant");
+        assert!(
+            after <= before + 1,
+            "epoch advanced past pinned participant"
+        );
         domain.collect();
         assert_eq!(drops.load(Ordering::SeqCst), 0);
     }

@@ -95,12 +95,14 @@ pub fn mixed_driver<M: ConcurrentMap>(
     workload: &MixedWorkload,
     threads: usize,
 ) -> Measurement {
-    run_parallel(table, threads, workload.ops.len(), |h, i| match workload.ops[i] {
-        MixedOp::Insert(k) => {
-            h.insert(k, k);
-            0
+    run_parallel(table, threads, workload.ops.len(), |h, i| {
+        match workload.ops[i] {
+            MixedOp::Insert(k) => {
+                h.insert(k, k);
+                0
+            }
+            MixedOp::Find(k) => u64::from(h.find(k).is_some()),
         }
-        MixedOp::Find(k) => u64::from(h.find(k).is_some()),
     })
 }
 
@@ -127,8 +129,7 @@ pub fn prefill<M: ConcurrentMap>(table: &M, keys: &[u64]) {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
-        .min(8)
-        .max(1);
+        .clamp(1, 8);
     insert_driver(table, keys, threads);
 }
 
@@ -167,11 +168,11 @@ mod tests {
     impl MapHandle for RefHandle<'_> {
         fn insert(&mut self, k: u64, v: u64) -> bool {
             let mut m = self.table.inner.lock().unwrap();
-            if m.contains_key(&k) {
-                false
-            } else {
-                m.insert(k, v);
+            if let std::collections::hash_map::Entry::Vacant(e) = m.entry(k) {
+                e.insert(v);
                 true
+            } else {
+                false
             }
         }
         fn find(&mut self, k: u64) -> Option<u64> {

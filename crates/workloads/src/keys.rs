@@ -32,12 +32,10 @@ pub const KEY_LIMIT: u64 = 1 << 63;
 pub fn uniform_keys(n: usize, seed: u64) -> Vec<u64> {
     let mut rng = Mt64::new(seed);
     (0..n)
-        .map(|_| {
-            loop {
-                let k = rng.next_u64() & (KEY_LIMIT - 1);
-                if k >= RESERVED_KEYS {
-                    return k;
-                }
+        .map(|_| loop {
+            let k = rng.next_u64() & (KEY_LIMIT - 1);
+            if k >= RESERVED_KEYS {
+                return k;
             }
         })
         .collect()
@@ -66,7 +64,9 @@ pub fn uniform_distinct_keys(n: usize, seed: u64) -> Vec<u64> {
 pub fn zipf_keys(n: usize, universe: u64, s: f64, seed: u64) -> Vec<u64> {
     let mut rng = Mt64::new(seed);
     let sampler = ZipfSampler::new(universe, s);
-    (0..n).map(|_| sampler.sample(&mut rng) + RESERVED_KEYS).collect()
+    (0..n)
+        .map(|_| sampler.sample(&mut rng) + RESERVED_KEYS)
+        .collect()
 }
 
 /// The dense key range `1..=universe` (shifted past the reserved range)
@@ -181,7 +181,9 @@ mod tests {
         let keys = uniform_distinct_keys(10_000, 3);
         let set: std::collections::HashSet<_> = keys.iter().collect();
         assert_eq!(set.len(), keys.len());
-        assert!(keys.iter().all(|&k| k >= RESERVED_KEYS && k < KEY_LIMIT));
+        assert!(keys
+            .iter()
+            .all(|&k| (RESERVED_KEYS..KEY_LIMIT).contains(&k)));
     }
 
     #[test]

@@ -114,8 +114,7 @@ impl Mt64 {
         }
         for i in NN - MM..NN - 1 {
             let x = (self.mt[i] & UM) | (self.mt[i + 1] & LM);
-            self.mt[i] =
-                self.mt[i + MM - NN] ^ (x >> 1) ^ if x & 1 == 1 { MATRIX_A } else { 0 };
+            self.mt[i] = self.mt[i + MM - NN] ^ (x >> 1) ^ if x & 1 == 1 { MATRIX_A } else { 0 };
         }
         let x = (self.mt[NN - 1] & UM) | (self.mt[0] & LM);
         self.mt[NN - 1] = self.mt[MM - 1] ^ (x >> 1) ^ if x & 1 == 1 { MATRIX_A } else { 0 };

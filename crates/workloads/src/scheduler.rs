@@ -82,8 +82,11 @@ mod tests {
     fn deals_every_index_exactly_once_multi_thread() {
         let total = 100_000;
         let sched = Arc::new(BlockScheduler::with_block(total, 128));
-        let counters: Arc<Vec<std::sync::atomic::AtomicU8>> =
-            Arc::new((0..total).map(|_| std::sync::atomic::AtomicU8::new(0)).collect());
+        let counters: Arc<Vec<std::sync::atomic::AtomicU8>> = Arc::new(
+            (0..total)
+                .map(|_| std::sync::atomic::AtomicU8::new(0))
+                .collect(),
+        );
         let threads: Vec<_> = (0..8)
             .map(|_| {
                 let sched = Arc::clone(&sched);

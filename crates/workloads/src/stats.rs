@@ -91,8 +91,16 @@ impl Repetitions {
         if self.runs.is_empty() {
             return 0.0;
         }
-        let max = self.runs.iter().map(Measurement::mops).fold(f64::MIN, f64::max);
-        let min = self.runs.iter().map(Measurement::mops).fold(f64::MAX, f64::min);
+        let max = self
+            .runs
+            .iter()
+            .map(Measurement::mops)
+            .fold(f64::MIN, f64::max);
+        let min = self
+            .runs
+            .iter()
+            .map(Measurement::mops)
+            .fold(f64::MAX, f64::min);
         let mean = self.mean_mops();
         if mean == 0.0 {
             0.0
@@ -187,11 +195,7 @@ impl Figure {
             }
             for s in &self.series {
                 out.push('\t');
-                match s
-                    .points
-                    .iter()
-                    .find(|&&(px, _)| (px - x).abs() < 1e-12)
-                {
+                match s.points.iter().find(|&&(px, _)| (px - x).abs() < 1e-12) {
                     Some(&(_, y)) => out.push_str(&format!("{y:.3}")),
                     None => out.push('-'),
                 }
@@ -239,8 +243,16 @@ mod tests {
     fn repetitions_aggregate() {
         let mut reps = Repetitions::new();
         assert!(reps.is_empty());
-        reps.push(Measurement { seconds: 1.0, ops: 1_000_000, aux: 1 });
-        reps.push(Measurement { seconds: 0.5, ops: 1_000_000, aux: 2 });
+        reps.push(Measurement {
+            seconds: 1.0,
+            ops: 1_000_000,
+            aux: 1,
+        });
+        reps.push(Measurement {
+            seconds: 0.5,
+            ops: 1_000_000,
+            aux: 2,
+        });
         assert_eq!(reps.len(), 2);
         assert!((reps.mean_mops() - 1.5).abs() < 1e-9);
         assert!((reps.max_mops() - 2.0).abs() < 1e-9);

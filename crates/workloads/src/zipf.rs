@@ -29,7 +29,10 @@ impl ZipfTable {
     /// Build the CDF for universe `1..=n` and exponent `s ≥ 0`.
     pub fn new(n: u64, s: f64) -> Self {
         assert!(n >= 1, "universe must be non-empty");
-        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "exponent must be finite and non-negative"
+        );
         let mut cdf = Vec::with_capacity(n as usize);
         let mut acc = 0.0f64;
         for k in 1..=n {
@@ -84,7 +87,8 @@ impl ZipfRejection {
         let nf = n as f64;
         let h_x1 = Self::h_static(s, 1.5) - 1.0;
         let h_n = Self::h_static(s, nf + 0.5);
-        let threshold = 2.0 - Self::h_inv_static(s, Self::h_static(s, 2.5) - Self::pmf_unnormalized(s, 2.0));
+        let threshold =
+            2.0 - Self::h_inv_static(s, Self::h_static(s, 2.5) - Self::pmf_unnormalized(s, 2.0));
         ZipfRejection {
             n: nf,
             s,
@@ -210,12 +214,7 @@ mod tests {
         let sampler = ZipfSampler::new(n, 1.0);
         let counts = empirical_counts(&sampler, n, 200_000, 1);
         // Key 1 must be the most frequent and roughly P(1) ≈ 1/H_n ≈ 0.133.
-        let max_idx = counts
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &c)| c)
-            .unwrap()
-            .0;
+        let max_idx = counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0;
         assert_eq!(max_idx, 1);
         let p1 = counts[1] as f64 / 200_000.0;
         assert!((p1 - 0.1336).abs() < 0.02, "p1 = {p1}");
@@ -227,8 +226,8 @@ mod tests {
         let sampler = ZipfSampler::new(n, 0.0);
         let counts = empirical_counts(&sampler, n, 128_000, 3);
         let expected = 128_000.0 / n as f64;
-        for k in 1..=n as usize {
-            let c = counts[k] as f64;
+        for (k, &count) in counts.iter().enumerate().skip(1) {
+            let c = count as f64;
             assert!(c > expected * 0.75 && c < expected * 1.25, "key {k}: {c}");
         }
     }
@@ -293,7 +292,7 @@ mod tests {
         let mut rng = Mt64::new(9);
         for _ in 0..10_000 {
             let k = sampler.sample(&mut rng);
-            assert!(k >= 1 && k <= 1 << 30);
+            assert!((1..=1 << 30).contains(&k));
         }
     }
 }

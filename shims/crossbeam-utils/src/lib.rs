@@ -1,0 +1,69 @@
+//! Offline stand-in for the
+//! [`crossbeam-utils`](https://crates.io/crates/crossbeam-utils) crate.
+//! Only [`CachePadded`] is provided — the one item this workspace uses.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to the length of a cache line (128 bytes: two
+/// 64-byte lines, protecting against adjacent-line prefetching exactly like
+/// the real crate does on x86-64).
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Pad `value` to a cache line.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Return the inner value, consuming the padding wrapper.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CachePadded")
+            .field("value", &self.value)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padded_to_cache_line() {
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+        assert!(std::mem::size_of::<CachePadded<u64>>() >= 128);
+        let mut p = CachePadded::new(7u64);
+        *p += 1;
+        assert_eq!(*p, 8);
+        assert_eq!(p.into_inner(), 8);
+    }
+}

@@ -46,8 +46,8 @@ pub use growt_workloads;
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
     pub use growt_baselines::{
-        Cuckoo, FollyStyle, Hopscotch, JunctionLeapfrog, JunctionLinear, LeaHash,
-        PhaseConcurrent, RcuQsbrTable, RcuTable, TbbHashMap, TbbUnorderedMap,
+        Cuckoo, FollyStyle, Hopscotch, JunctionLeapfrog, JunctionLinear, LeaHash, PhaseConcurrent,
+        RcuQsbrTable, RcuTable, TbbHashMap, TbbUnorderedMap,
     };
     pub use growt_core::{
         Folklore, GrowingOptions, GrowingTable, PaGrow, PsGrow, TsxFolklore, UaGrow, UsGrow,

@@ -1,0 +1,215 @@
+//! Generic [`ConcurrentMap`] conformance suite.
+//!
+//! Every table type exported from `growt_repro::prelude` is driven through
+//! the same checks via one generic harness, so that all implementations are
+//! exercised through the single trait surface the benchmarks use rather
+//! than per-crate ad-hoc smoke tests:
+//!
+//! * a single-threaded insert/find/update/upsert/erase round-trip,
+//! * a multi-threaded distinct-key insert + find smoke test,
+//! * for tables advertising atomic updates (Table 1), a concurrent
+//!   insert-or-increment atomicity check.
+//!
+//! Capability flags steer the variations: sequential reference tables run
+//! the concurrent sections with one thread, and the atomicity check only
+//! runs where `Capabilities::atomic_updates` is claimed.
+
+use growt_repro::prelude::*;
+
+/// Smallest key used by the suite: keys 0/1 (and a small reserved prefix)
+/// are sentinel values in several open-addressing tables.
+const BASE: u64 = 32;
+
+fn concurrency_for<M: ConcurrentMap>(requested: usize) -> usize {
+    // The sequential reference tables use no synchronization at all; the
+    // whole harness (paper §8.1.4) only ever drives them single-threaded.
+    if M::table_name().starts_with("sequential") {
+        1
+    } else {
+        requested
+    }
+}
+
+/// Single-threaded round-trip over the full `MapHandle` surface.
+fn round_trip<M: ConcurrentMap>() {
+    let table = M::with_capacity(2048);
+    let mut h = table.handle();
+    let name = M::table_name();
+
+    // Fresh inserts succeed exactly once.
+    for k in BASE..BASE + 512 {
+        assert!(h.insert(k, k + 1), "{name}: first insert of {k}");
+    }
+    for k in BASE..BASE + 512 {
+        assert!(!h.insert(k, 0), "{name}: duplicate insert of {k}");
+        assert_eq!(h.find(k), Some(k + 1), "{name}: find({k})");
+    }
+    assert_eq!(h.find(BASE + 100_000), None, "{name}: absent key");
+
+    // update / update_overwrite only touch existing elements.
+    assert!(
+        h.update(BASE, 5, |cur, d| cur + d),
+        "{name}: update present"
+    );
+    assert_eq!(h.find(BASE), Some(BASE + 6));
+    assert!(
+        !h.update(BASE + 100_000, 5, |cur, d| cur + d),
+        "{name}: update absent"
+    );
+    assert!(h.update_overwrite(BASE, 7), "{name}: overwrite present");
+    assert_eq!(h.find(BASE), Some(7));
+
+    // insert_or_update inserts when absent, updates when present.
+    assert!(
+        h.insert_or_update(BASE + 1000, 3, |c, d| c + d).inserted(),
+        "{name}: upsert absent"
+    );
+    assert!(
+        !h.insert_or_update(BASE + 1000, 4, |c, d| c + d).inserted(),
+        "{name}: upsert present"
+    );
+    assert_eq!(h.find(BASE + 1000), Some(7), "{name}: upsert result");
+
+    // insert_or_increment is the aggregation primitive of Fig. 5.
+    assert!(h.insert_or_increment(BASE + 2000, 2).inserted());
+    assert!(!h.insert_or_increment(BASE + 2000, 40).inserted());
+    assert_eq!(h.find(BASE + 2000), Some(42), "{name}: increment result");
+
+    // erase removes exactly once; erased keys can be re-inserted.
+    assert!(h.erase(BASE + 1), "{name}: erase present");
+    assert!(!h.erase(BASE + 1), "{name}: erase absent");
+    assert_eq!(h.find(BASE + 1), None, "{name}: erased key gone");
+    assert!(h.insert(BASE + 1, 99), "{name}: re-insert after erase");
+    assert_eq!(h.find(BASE + 1), Some(99));
+
+    h.quiesce();
+}
+
+/// Multi-threaded smoke: distinct-key inserts from several threads, then
+/// concurrent finds; nothing may be lost.
+fn concurrent_insert_find<M: ConcurrentMap>() {
+    let threads = concurrency_for::<M>(4);
+    let per_thread = 4_000u64;
+    let total = per_thread * threads as u64;
+    let table = M::with_capacity(total as usize);
+    let name = M::table_name();
+
+    std::thread::scope(|scope| {
+        for t in 0..threads as u64 {
+            let table = &table;
+            scope.spawn(move || {
+                let mut h = table.handle();
+                for i in 0..per_thread {
+                    let k = BASE + t * per_thread + i;
+                    assert!(h.insert(k, k), "{name}: parallel insert {k}");
+                    if i % 1024 == 0 {
+                        h.quiesce();
+                    }
+                }
+                h.quiesce();
+            });
+        }
+    });
+
+    std::thread::scope(|scope| {
+        for t in 0..threads as u64 {
+            let table = &table;
+            scope.spawn(move || {
+                let mut h = table.handle();
+                for i in 0..per_thread {
+                    let k = BASE + t * per_thread + i;
+                    assert_eq!(h.find(k), Some(k), "{name}: parallel find {k}");
+                }
+                h.quiesce();
+            });
+        }
+    });
+}
+
+/// Concurrent insert-or-increment on a small key universe: the sum of all
+/// counters must equal the number of operations (no lost increments).
+/// Only meaningful where the table claims atomic updates (Table 1).
+fn concurrent_increment_atomicity<M: ConcurrentMap>() {
+    if !M::capabilities().atomic_updates {
+        return;
+    }
+    let threads = concurrency_for::<M>(4);
+    let per_thread = 10_000u64;
+    let universe = 97u64;
+    let table = M::with_capacity(4 * universe as usize);
+    let name = M::table_name();
+
+    std::thread::scope(|scope| {
+        for t in 0..threads as u64 {
+            let table = &table;
+            scope.spawn(move || {
+                let mut h = table.handle();
+                for i in 0..per_thread {
+                    h.insert_or_increment(BASE + (i * 31 + t) % universe, 1);
+                    if i % 1024 == 0 {
+                        h.quiesce();
+                    }
+                }
+                h.quiesce();
+            });
+        }
+    });
+
+    let mut h = table.handle();
+    let total: u64 = (0..universe).map(|k| h.find(BASE + k).unwrap_or(0)).sum();
+    assert_eq!(
+        total,
+        per_thread * threads as u64,
+        "{name}: lost increments under concurrent aggregation"
+    );
+}
+
+macro_rules! conformance {
+    ($($module:ident => $table:ty),+ $(,)?) => {
+        $(
+            mod $module {
+                use super::*;
+
+                #[test]
+                fn round_trip() {
+                    super::round_trip::<$table>();
+                }
+
+                #[test]
+                fn concurrent_insert_find() {
+                    super::concurrent_insert_find::<$table>();
+                }
+
+                #[test]
+                fn concurrent_increment_atomicity() {
+                    super::concurrent_increment_atomicity::<$table>();
+                }
+            }
+        )+
+    };
+}
+
+conformance! {
+    // growt-core variants (§7).
+    folklore => Folklore,
+    tsx_folklore => TsxFolklore,
+    ua_grow => UaGrow,
+    us_grow => UsGrow,
+    pa_grow => PaGrow,
+    ps_grow => PsGrow,
+    // Sequential references (§8.1.4).
+    seq_table => SeqTable,
+    seq_growing_table => SeqGrowingTable,
+    // Competitor families (§8.1).
+    cuckoo => Cuckoo,
+    folly_style => FollyStyle,
+    hopscotch => Hopscotch,
+    junction_leapfrog => JunctionLeapfrog,
+    junction_linear => JunctionLinear,
+    lea_hash => LeaHash,
+    phase_concurrent => PhaseConcurrent,
+    rcu_qsbr => RcuQsbrTable,
+    rcu => RcuTable,
+    tbb_hash_map => TbbHashMap,
+    tbb_unordered_map => TbbUnorderedMap,
+}

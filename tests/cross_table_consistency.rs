@@ -22,7 +22,12 @@ fn model_check_with_capacity<M: ConcurrentMap>(ops: usize, capacity: usize) {
             0 | 1 => {
                 let expected = !model.contains_key(&key);
                 let got = handle.insert(key, key + i as u64);
-                assert_eq!(got, expected, "{}: insert({key}) at op {i}", M::table_name());
+                assert_eq!(
+                    got,
+                    expected,
+                    "{}: insert({key}) at op {i}",
+                    M::table_name()
+                );
                 model.entry(key).or_insert(key + i as u64);
             }
             2 => {
@@ -34,7 +39,12 @@ fn model_check_with_capacity<M: ConcurrentMap>(ops: usize, capacity: usize) {
                     M::table_name()
                 );
                 if let (Some(got), Some(want)) = (got, model.get(&key)) {
-                    assert_eq!(got, *want, "{}: find({key}) value at op {i}", M::table_name());
+                    assert_eq!(
+                        got,
+                        *want,
+                        "{}: find({key}) value at op {i}",
+                        M::table_name()
+                    );
                 }
             }
             3 => {
@@ -44,7 +54,12 @@ fn model_check_with_capacity<M: ConcurrentMap>(ops: usize, capacity: usize) {
                 } else {
                     InsertOrUpdate::Inserted
                 };
-                assert_eq!(got, expected, "{}: upsert({key}) at op {i}", M::table_name());
+                assert_eq!(
+                    got,
+                    expected,
+                    "{}: upsert({key}) at op {i}",
+                    M::table_name()
+                );
                 model
                     .entry(key)
                     .and_modify(|v| *v = v.wrapping_add(1))
@@ -81,7 +96,12 @@ fn model_check_overwrite_only<M: ConcurrentMap>(ops: usize) {
         match i % 3 {
             0 => {
                 let got = handle.insert(key, key);
-                assert_eq!(got, !model.contains_key(&key), "{}: insert {key}", M::table_name());
+                assert_eq!(
+                    got,
+                    !model.contains_key(&key),
+                    "{}: insert {key}",
+                    M::table_name()
+                );
                 model.entry(key).or_insert(key);
             }
             1 => {
@@ -153,9 +173,19 @@ fn parallel_insert_find_agree_across_tables() {
         let keys = uniform_distinct_keys(30_000, 99);
         let table = M::with_capacity(keys.len());
         let m = insert_driver(&table, &keys, 4);
-        assert_eq!(m.aux as usize, keys.len(), "{}: lost inserts", M::table_name());
+        assert_eq!(
+            m.aux as usize,
+            keys.len(),
+            "{}: lost inserts",
+            M::table_name()
+        );
         let m = find_driver(&table, &keys, 4);
-        assert_eq!(m.aux as usize, keys.len(), "{}: lost finds", M::table_name());
+        assert_eq!(
+            m.aux as usize,
+            keys.len(),
+            "{}: lost finds",
+            M::table_name()
+        );
         m.aux
     }
     let expected = 30_000u64;
@@ -183,7 +213,15 @@ fn parallel_aggregation_agrees_on_supporting_tables() {
     fn run<M: ConcurrentMap>() {
         let keys = zipf_keys(60_000, 2_000, 1.0, 5);
         let table = M::with_capacity(4_096);
-        aggregate_driver(&table, &keys, 4);
+        // The sequential reference tables use no synchronization and are
+        // only ever driven single-threaded (paper §8.1.4), exactly as the
+        // bench harness clamps them.
+        let threads = if M::table_name().starts_with("sequential") {
+            1
+        } else {
+            4
+        };
+        aggregate_driver(&table, &keys, threads);
         let mut handle = table.handle();
         let total: u64 = (1..=2_000u64)
             .map(|k| handle.find(k + 16).unwrap_or(0))
