@@ -4,10 +4,12 @@
 //! Every key has two candidate buckets (two hash functions), each bucket
 //! holds four slots.  Insertion first tries both buckets; if both are full
 //! it searches a short displacement path (a bounded BFS over candidate
-//! buckets) and moves elements along the path to make room.  All writes
-//! take striped spinlocks covering the touched buckets; lookups also take
-//! the lock of the primary bucket — the property that makes cuckoo collapse
-//! under read contention in the paper's Fig. 4b (a factor of thousands).
+//! buckets) and moves elements along the path to make room.  Writes
+//! serialize on a global write lock (a simplification of libcuckoo's
+//! striped write locks that keeps this model safe Rust); lookups take the
+//! striped lock of the primary bucket — the property that makes cuckoo
+//! collapse under read contention in the paper's Fig. 4b (a factor of
+//! thousands).
 //!
 //! Growing rehashes the whole table under a global write lock, which is why
 //! the paper groups libcuckoo with the "limited growing" tables ("slow").
@@ -249,23 +251,9 @@ impl MapHandle for CuckooHandle<'_> {
     fn insert(&mut self, k: Key, v: Value) -> bool {
         loop {
             {
-                let inner = self.table.inner.read();
-                let (a, b) = inner.bucket_pair(k);
-                let (_g1, _g2) = self.table.lock_two(a, b);
-                if inner.find_in(a, k).is_some() || inner.find_in(b, k).is_some() {
-                    return false;
-                }
-                // SAFETY-free fast path: a free slot in either bucket.
-                // (We re-borrow mutably through the RwLock read guard by
-                //  upgrading to interior mutation via the bucket locks; to
-                //  keep the code safe we instead drop and take the write
-                //  lock only when displacement is needed.)
-                drop(_g2);
-                drop(_g1);
-            }
-            // Slow but simple and safe: all structural changes go through the
-            // write lock; the striped locks above only shorten the read path.
-            {
+                // All structural changes go through the global write lock
+                // (see the module doc); the striped locks only cover the
+                // read path.
                 let mut inner = self.table.inner.write();
                 let (a, b) = inner.bucket_pair(k);
                 if inner.find_in(a, k).is_some() || inner.find_in(b, k).is_some() {

@@ -21,7 +21,7 @@ use growt_iface::{
 };
 use parking_lot::Mutex;
 
-use crate::util::{capacity_for, hash_key, scale};
+use crate::util::{assert_user_key, capacity_for, hash_key, load_published_key, scale};
 
 const EMPTY: u64 = 0;
 const TOMBSTONE: u64 = 1;
@@ -29,8 +29,8 @@ const TOMBSTONE: u64 = 1;
 /// yet.  Probes spin through this (very short) window instead of skipping,
 /// so a published key is always paired with an initialized value — the
 /// property the fetch-and-add fast path and the update CAS loop rely on.
-/// Not a valid user key (generated keys stay below `1 << 63`).
-const INFLIGHT: u64 = u64::MAX;
+/// Not a valid user key — enforced by `assert_user_key` in the handle.
+const INFLIGHT: u64 = crate::util::INFLIGHT;
 /// Maximum number of chained sub-maps (the original defaults to 14, with
 /// each sub-map half the size of the previous growth step; we keep them
 /// equally sized at half the primary size which gives the same ≈ bounded
@@ -59,13 +59,7 @@ impl SubMap {
     /// (whose value store already happened-before the key store).
     #[inline]
     fn key_at(&self, index: usize) -> u64 {
-        loop {
-            let stored = self.keys[index].load(Ordering::Acquire);
-            if stored != INFLIGHT {
-                return stored;
-            }
-            std::hint::spin_loop();
-        }
+        load_published_key(&self.keys[index])
     }
 
     /// Try to insert; `Err(())` means this sub-map is full.
@@ -188,14 +182,13 @@ impl ConcurrentMap for FollyStyle {
 
 impl MapHandle for FollyStyleHandle<'_> {
     fn insert(&mut self, k: Key, v: Value) -> bool {
+        assert_user_key(k);
         loop {
             let active = self.table.active.load(Ordering::Acquire);
             // The key may already live in any active sub-map.
             for submap in &self.table.submaps[..active] {
-                if let Some(slot) = submap.find_slot(k) {
-                    if submap.keys[slot].load(Ordering::Acquire) == k {
-                        return false;
-                    }
+                if submap.find_slot(k).is_some() {
+                    return false;
                 }
             }
             match self.table.submaps[active - 1].insert(k, v) {
@@ -211,6 +204,7 @@ impl MapHandle for FollyStyleHandle<'_> {
     }
 
     fn find(&mut self, k: Key) -> Option<Value> {
+        assert_user_key(k);
         let active = self.table.active.load(Ordering::Acquire);
         for submap in &self.table.submaps[..active] {
             if let Some(slot) = submap.find_slot(k) {
@@ -221,6 +215,7 @@ impl MapHandle for FollyStyleHandle<'_> {
     }
 
     fn update(&mut self, k: Key, d: Value, up: fn(Value, Value) -> Value) -> bool {
+        assert_user_key(k);
         let active = self.table.active.load(Ordering::Acquire);
         for submap in &self.table.submaps[..active] {
             if let Some(slot) = submap.find_slot(k) {
@@ -258,6 +253,7 @@ impl MapHandle for FollyStyleHandle<'_> {
     }
 
     fn insert_or_increment(&mut self, k: Key, d: Value) -> InsertOrUpdate {
+        assert_user_key(k);
         // Fetch-and-add fast path, like the original.
         let active = self.table.active.load(Ordering::Acquire);
         for submap in &self.table.submaps[..active] {
@@ -277,6 +273,7 @@ impl MapHandle for FollyStyleHandle<'_> {
     }
 
     fn erase(&mut self, k: Key) -> bool {
+        assert_user_key(k);
         let active = self.table.active.load(Ordering::Acquire);
         for submap in &self.table.submaps[..active] {
             if let Some(slot) = submap.find_slot(k) {

@@ -19,14 +19,14 @@ use growt_iface::{
 };
 use parking_lot::Mutex;
 
-use crate::util::{capacity_for, hash_key, scale};
+use crate::util::{assert_user_key, capacity_for, hash_key, scale};
 
 /// Neighborhood size (the classic choice).
 const H: usize = 32;
 const EMPTY: u64 = 0;
 /// In-flight claim on an empty cell: taken with CAS by an inserter whose
 /// probe ran past its own stripe, published as the real key afterwards.
-/// Not a valid user key (generated keys stay below `1 << 63`).
+/// Not a valid user key — enforced by `assert_user_key` in the handle.
 const RESERVED: u64 = u64::MAX;
 const LOCK_STRIPES: usize = 1024;
 
@@ -38,11 +38,22 @@ struct Slot {
 }
 
 /// Hopscotch hash map with striped write locks and lock-free reads.
+///
+/// # Lock ordering
+///
+/// The displacement lock is ordered *before* every stripe lock: an inserter
+/// that needs to displace releases its home stripe lock first, then takes
+/// the displacement lock and re-acquires stripe locks under it (see
+/// [`Hopscotch::insert_displaced`]).  Every other operation holds at most
+/// one stripe lock and never blocks on a second lock while holding it, so
+/// the only thread that ever holds several locks is the (unique) holder of
+/// the displacement lock — no cycle is possible.
 pub struct Hopscotch {
     slots: Vec<Slot>,
     locks: Vec<Mutex<()>>,
     /// Serializes the (rare) displacement path, which reaches into other
     /// buckets' neighborhoods and is not covered by one stripe lock.
+    /// Ordered before all stripe locks; see the struct-level doc.
     displacement_lock: Mutex<()>,
     capacity: usize,
 }
@@ -50,6 +61,27 @@ pub struct Hopscotch {
 /// Per-thread handle (stateless).
 pub struct HopscotchHandle<'a> {
     table: &'a Hopscotch,
+}
+
+/// Outcome of the in-stripe insert attempt ([`Hopscotch::insert_fast`]).
+enum FastInsert {
+    /// Inserted within the neighborhood.
+    Inserted,
+    /// No free cell could be claimed anywhere: table full.
+    Full,
+    /// A cell was claimed (`RESERVED`) at this index but lies outside the
+    /// neighborhood; the caller must release the stripe lock and finish
+    /// through [`Hopscotch::insert_displaced`].
+    NeedsDisplacement(usize),
+}
+
+/// Outcome of the displacement path ([`Hopscotch::insert_displaced`]).
+enum DisplacedInsert {
+    Inserted,
+    /// The key was inserted concurrently while no stripe lock was held.
+    AlreadyPresent,
+    /// Displacement could not make room: table full.
+    Full,
 }
 
 impl Hopscotch {
@@ -67,16 +99,18 @@ impl Hopscotch {
     /// before `free` closer to its own home, freeing an earlier slot.
     /// Returns the new free slot on success.
     ///
-    /// The caller must own `free` (hold its `RESERVED` claim), the stripe
-    /// lock `held_stripe` of the key being inserted, and the table-wide
-    /// displacement lock; the claim is transferred to the returned slot.
-    /// The move additionally takes the stripe lock of the *moved* key's
-    /// home (unless it is `held_stripe`), excluding a concurrent update or
-    /// erase of that key from racing with the copy; updaters/erasers take
-    /// only their own stripe lock and never the displacement lock, so lock
-    /// ordering stays acyclic.  `hop_info` words are modified with atomic
-    /// RMW ops because inserters under other stripe locks `fetch_or` them
-    /// concurrently.
+    /// The caller must own `free` (hold its `RESERVED` claim), the
+    /// table-wide displacement lock, and — acquired *after* the
+    /// displacement lock — the stripe lock `held_stripe` of the key being
+    /// inserted; the claim is transferred to the returned slot.  The move
+    /// additionally takes the stripe lock of the *moved* key's home (unless
+    /// it is `held_stripe`), excluding a concurrent update or erase of that
+    /// key from racing with the copy.  Waiting on those stripe locks while
+    /// holding the displacement lock is safe because no thread blocks on
+    /// the displacement lock while holding a stripe lock (see the
+    /// struct-level lock-ordering doc), so every stripe holder eventually
+    /// releases.  `hop_info` words are modified with atomic RMW ops because
+    /// inserters under other stripe locks `fetch_or` them concurrently.
     fn hop_backwards(&self, free: usize, held_stripe: usize) -> Option<usize> {
         // Look at the H-1 slots before `free`; any element homed there whose
         // neighborhood still covers `free` can be moved into `free`.
@@ -142,16 +176,29 @@ impl Hopscotch {
         }
     }
 
-    /// Insert `k` (known absent from its neighborhood).  The stripe lock of
-    /// `home` must be held.  Returns `false` if no room can be made.
+    /// Publish `⟨k, v⟩` into the claimed slot `free` (`distance < H` cells
+    /// from `home`) and link it into `home`'s neighborhood bitmap.
+    #[inline]
+    fn publish(&self, home: usize, free: usize, distance: usize, k: u64, v: u64) {
+        self.slots[free].value.store(v, Ordering::Release);
+        self.slots[free].key.store(k, Ordering::Release);
+        self.slots[home]
+            .hop_info
+            .fetch_or(1 << distance, Ordering::AcqRel);
+    }
+
+    /// Insert `k` (known absent from its neighborhood) if it fits without
+    /// displacement.  The stripe lock of `home` must be held.
     ///
     /// The probe sequence may run past the stripe covered by `home`'s lock,
     /// so the free slot is *claimed* with a CAS (`EMPTY → RESERVED`): two
     /// inserts with different home buckets can race for the same empty cell
-    /// and only one wins it.  Displacement is additionally serialized by a
-    /// table-wide lock (it touches other buckets' neighborhoods); at the
-    /// 4× head-room this table allocates it is a cold path.
-    fn insert_locked(&self, home: usize, k: u64, v: u64) -> bool {
+    /// and only one wins it.  If the claimed cell lies outside the
+    /// neighborhood the claim is handed back to the caller, which must drop
+    /// the stripe lock and finish via [`Hopscotch::insert_displaced`] —
+    /// displacing under the stripe lock would invert the displacement-first
+    /// lock order and deadlock against a second displacing inserter.
+    fn insert_fast(&self, home: usize, k: u64, v: u64) -> FastInsert {
         // Claim a free slot by linear probing from home.
         let mut free = home;
         let mut probed = 0usize;
@@ -167,34 +214,56 @@ impl Hopscotch {
             free = (free + 1) & (self.capacity - 1);
             probed += 1;
             if probed >= self.capacity {
-                return false; // table full
+                return FastInsert::Full;
             }
         }
-        // Hop the claimed slot back until it is within the neighborhood.
-        let mut distance = (free + self.capacity - home) & (self.capacity - 1);
+        let distance = (free + self.capacity - home) & (self.capacity - 1);
         if distance >= H {
-            let _displace = self.displacement_lock.lock();
-            while distance >= H {
-                match self.hop_backwards(free, home % LOCK_STRIPES) {
-                    Some(new_free) => {
-                        free = new_free;
-                        distance = (free + self.capacity - home) & (self.capacity - 1);
-                    }
-                    None => {
-                        // Cannot make room (would trigger resize): release
-                        // the claimed cell again.
-                        self.slots[free].key.store(EMPTY, Ordering::Release);
-                        return false;
-                    }
+            return FastInsert::NeedsDisplacement(free);
+        }
+        self.publish(home, free, distance, k, v);
+        FastInsert::Inserted
+    }
+
+    /// Finish an insert whose claimed cell `free` lies outside the
+    /// neighborhood: hop it backwards until it is within reach of `home`.
+    /// Must be called WITHOUT any stripe lock held; the claim on `free` (a
+    /// `RESERVED` key, invisible to every probe) is the caller's.
+    ///
+    /// Locks are taken in displacement-first order — the table-wide
+    /// displacement lock, then `home`'s stripe lock, then (inside
+    /// `hop_backwards`) the moved keys' stripe locks — which is what makes
+    /// concurrent displacing inserters deadlock-free; see the struct-level
+    /// doc.  At the 4× head-room this table allocates it is a cold path.
+    ///
+    /// Because the home stripe lock was released while queueing for the
+    /// displacement lock, a concurrent insert of the same key may have
+    /// landed in between; that is re-checked here and reported as
+    /// [`DisplacedInsert::AlreadyPresent`].
+    fn insert_displaced(&self, home: usize, k: u64, v: u64, mut free: usize) -> DisplacedInsert {
+        let _displace = self.displacement_lock.lock();
+        let _guard = self.lock_for(home).lock();
+        if self.contains_locked(home, k) {
+            self.slots[free].key.store(EMPTY, Ordering::Release);
+            return DisplacedInsert::AlreadyPresent;
+        }
+        let mut distance = (free + self.capacity - home) & (self.capacity - 1);
+        while distance >= H {
+            match self.hop_backwards(free, home % LOCK_STRIPES) {
+                Some(new_free) => {
+                    free = new_free;
+                    distance = (free + self.capacity - home) & (self.capacity - 1);
+                }
+                None => {
+                    // Cannot make room (would trigger resize): release the
+                    // claimed cell again.
+                    self.slots[free].key.store(EMPTY, Ordering::Release);
+                    return DisplacedInsert::Full;
                 }
             }
         }
-        self.slots[free].value.store(v, Ordering::Release);
-        self.slots[free].key.store(k, Ordering::Release);
-        self.slots[home]
-            .hop_info
-            .fetch_or(1 << distance, Ordering::AcqRel);
-        true
+        self.publish(home, free, distance, k, v);
+        DisplacedInsert::Inserted
     }
 
     /// `true` if `k` is present in its neighborhood.  The stripe lock of
@@ -246,31 +315,76 @@ impl ConcurrentMap for Hopscotch {
 
 impl MapHandle for HopscotchHandle<'_> {
     fn insert(&mut self, k: Key, v: Value) -> bool {
+        assert_user_key(k);
         let t = self.table;
         let home = t.home(k);
-        let _guard = t.lock_for(home).lock();
+        let guard = t.lock_for(home).lock();
         if t.contains_locked(home, k) {
             return false;
         }
-        t.insert_locked(home, k, v)
-    }
-
-    fn find(&mut self, k: Key) -> Option<Value> {
-        let t = self.table;
-        let home = t.home(k);
-        let info = t.slots[home].hop_info.load(Ordering::Acquire);
-        for offset in 0..H {
-            if info & (1 << offset) != 0 {
-                let idx = (home + offset) & (t.capacity - 1);
-                if t.slots[idx].key.load(Ordering::Acquire) == k {
-                    return Some(t.slots[idx].value.load(Ordering::Acquire));
+        match t.insert_fast(home, k, v) {
+            FastInsert::Inserted => true,
+            FastInsert::Full => false,
+            FastInsert::NeedsDisplacement(free) => {
+                // Displacement-first lock order: give up the stripe lock
+                // before queueing on the displacement lock.
+                drop(guard);
+                match t.insert_displaced(home, k, v, free) {
+                    DisplacedInsert::Inserted => true,
+                    DisplacedInsert::AlreadyPresent | DisplacedInsert::Full => false,
                 }
             }
         }
-        None
+    }
+
+    fn find(&mut self, k: Key) -> Option<Value> {
+        assert_user_key(k);
+        let t = self.table;
+        let home = t.home(k);
+        // Lock-free probe, retried when the neighborhood bitmap changes
+        // underneath it: a displacement moves a member and flips two bits,
+        // and a probe overlapping the move can otherwise miss a
+        // continuously-present key (bitmap snapshot taken before the new
+        // offset bit was set, old slot checked after the copy).  The
+        // original algorithm guards this with per-bucket timestamps; the
+        // bitmap re-read serves the same purpose here.  A miss only counts
+        // once the bitmap is observed unchanged across the probe; after a
+        // few displaced retries fall back to the exact stripe-locked
+        // lookup (any displacement of this neighborhood's members holds
+        // this stripe lock, so it cannot race).
+        for _ in 0..8 {
+            let info = t.slots[home].hop_info.load(Ordering::Acquire);
+            let mut displaced = false;
+            for offset in 0..H {
+                if info & (1 << offset) != 0 {
+                    let idx = (home + offset) & (t.capacity - 1);
+                    if t.slots[idx].key.load(Ordering::Acquire) == k {
+                        let value = t.slots[idx].value.load(Ordering::Acquire);
+                        // Re-check the key: the slot may have been displaced
+                        // and re-published under a different key between the
+                        // two loads, making `value` another key's.  (An
+                        // erase + re-insert of `k` into the same slot
+                        // between the loads is ABA this torn-read model
+                        // accepts, like the folklore table.)
+                        if t.slots[idx].key.load(Ordering::Acquire) == k {
+                            return Some(value);
+                        }
+                        displaced = true;
+                        break;
+                    }
+                }
+            }
+            if !displaced && t.slots[home].hop_info.load(Ordering::Acquire) == info {
+                return None;
+            }
+        }
+        let _guard = t.lock_for(home).lock();
+        t.slot_of(home, k)
+            .map(|(idx, _)| t.slots[idx].value.load(Ordering::Acquire))
     }
 
     fn update(&mut self, k: Key, d: Value, up: fn(Value, Value) -> Value) -> bool {
+        assert_user_key(k);
         let t = self.table;
         let home = t.home(k);
         let _guard = t.lock_for(home).lock();
@@ -286,22 +400,37 @@ impl MapHandle for HopscotchHandle<'_> {
         // One critical section for the update-or-insert decision: composing
         // the public `update` and `insert` would release the stripe lock in
         // between and let a concurrent upsert of the same key drop this
-        // thread's update.
+        // thread's update.  Only the (cold) displacement path gives up the
+        // stripe lock, and a same-key insert sneaking into that window is
+        // detected and retried as an update.
+        assert_user_key(k);
         let t = self.table;
         let home = t.home(k);
-        let _guard = t.lock_for(home).lock();
-        if t.update_locked(home, k, d, up) {
-            InsertOrUpdate::Updated
-        } else if t.insert_locked(home, k, d) {
-            InsertOrUpdate::Inserted
-        } else {
-            // Table full: count it as an update attempt on a best-effort
-            // basis (mirrors the set-only interface of the original).
-            InsertOrUpdate::Updated
+        loop {
+            let guard = t.lock_for(home).lock();
+            if t.update_locked(home, k, d, up) {
+                return InsertOrUpdate::Updated;
+            }
+            match t.insert_fast(home, k, d) {
+                FastInsert::Inserted => return InsertOrUpdate::Inserted,
+                // Table full: count it as an update attempt on a
+                // best-effort basis (mirrors the set-only interface of the
+                // original).
+                FastInsert::Full => return InsertOrUpdate::Updated,
+                FastInsert::NeedsDisplacement(free) => {
+                    drop(guard);
+                    match t.insert_displaced(home, k, d, free) {
+                        DisplacedInsert::Inserted => return InsertOrUpdate::Inserted,
+                        DisplacedInsert::Full => return InsertOrUpdate::Updated,
+                        DisplacedInsert::AlreadyPresent => continue,
+                    }
+                }
+            }
         }
     }
 
     fn erase(&mut self, k: Key) -> bool {
+        assert_user_key(k);
         let t = self.table;
         let home = t.home(k);
         let _guard = t.lock_for(home).lock();
@@ -354,6 +483,38 @@ mod tests {
         assert!(inserted.len() > 100);
         for &k in &inserted {
             assert_eq!(h.find(k), Some(k), "lost {k} after displacement");
+        }
+    }
+
+    #[test]
+    fn concurrent_displacement_does_not_deadlock() {
+        // Small table at high load: many inserts land outside their
+        // neighborhood and take the displacement path from several threads
+        // at once.  With displacement taken under the stripe lock this
+        // deadlocks (stripe → displacement → other stripe vs. stripe →
+        // displacement); with displacement-first ordering it must finish.
+        let t = Hopscotch::with_capacity(64);
+        let inserted = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for start in 0..4u64 {
+                let (t, inserted) = (&t, &inserted);
+                s.spawn(move || {
+                    let mut h = t.handle();
+                    for i in 0..100u64 {
+                        let k = 1_000_000 * start + i + 2;
+                        if h.insert(k, i) {
+                            inserted.lock().push((k, i));
+                        }
+                    }
+                });
+            }
+        });
+        // Every key that reported success must be findable.
+        let keys = inserted.into_inner();
+        assert!(!keys.is_empty());
+        let mut h = t.handle();
+        for (k, v) in keys {
+            assert_eq!(h.find(k), Some(v), "lost key {k}");
         }
     }
 

@@ -29,10 +29,16 @@ use growt_iface::{
 use growt_reclaim::{CachedArc, QsbrDomain, VersionedArc};
 use parking_lot::Mutex;
 
-use crate::util::{capacity_for, hash_key, scale};
+use crate::util::{assert_user_key, capacity_for, hash_key, load_published_key, scale};
 
 const EMPTY: u64 = 0;
 const TOMBSTONE: u64 = 1;
+/// A cell claimed by an inserter whose value store has not been published
+/// yet (same idiom as the folly-style table): probes spin out this short
+/// window, so a *published* key always carries its value — a migration can
+/// therefore never copy a half-initialized cell, only miss one entirely.
+/// Not a valid user key — enforced by `assert_user_key` in the handle.
+const INFLIGHT: u64 = crate::util::INFLIGHT;
 
 struct Array {
     keys: Vec<AtomicU64>,
@@ -56,6 +62,15 @@ impl Array {
         (index + 1 + (step * stride)) & (self.capacity - 1)
     }
 
+    /// Load the key at `index`, spinning out the in-flight insertion
+    /// window so callers only ever observe `EMPTY`, `TOMBSTONE` or a
+    /// published key (whose value store already happened-before the key
+    /// store).
+    #[inline]
+    fn key_at(&self, index: usize) -> u64 {
+        load_published_key(&self.keys[index])
+    }
+
     /// `Ok(true)` inserted, `Ok(false)` already present, `Err(())` full.
     fn insert(&self, key: u64, value: u64, stride: usize) -> Result<bool, ()> {
         if self.used.load(Ordering::Relaxed) * 4 >= self.capacity * 3 {
@@ -65,19 +80,23 @@ impl Array {
         let mut step = 0usize;
         let limit = self.capacity.min(512);
         while step < limit {
-            let stored = self.keys[index].load(Ordering::Acquire);
+            let stored = self.key_at(index);
             if stored == key {
                 return Ok(false);
             }
             if stored == EMPTY {
                 match self.keys[index].compare_exchange(
                     EMPTY,
-                    key,
+                    INFLIGHT,
                     Ordering::AcqRel,
                     Ordering::Acquire,
                 ) {
                     Ok(_) => {
+                        // Initialize the value BEFORE publishing the key,
+                        // so no probe (and no migration copy) ever sees a
+                        // published key with a transient value.
                         self.values[index].store(value, Ordering::Release);
+                        self.keys[index].store(key, Ordering::Release);
                         self.used.fetch_add(1, Ordering::Relaxed);
                         return Ok(true);
                     }
@@ -98,7 +117,7 @@ impl Array {
     fn find_slot(&self, key: u64, stride: usize) -> Option<usize> {
         let mut index = scale(hash_key(key), self.capacity);
         for step in 0..self.capacity.min(512) {
-            let stored = self.keys[index].load(Ordering::Acquire);
+            let stored = self.key_at(index);
             if stored == EMPTY {
                 return None;
             }
@@ -116,8 +135,9 @@ struct JunctionCore {
     qsbr: Arc<QsbrDomain>,
     migration_lock: Mutex<()>,
     stride: usize,
-    /// Set while a migration is copying cells; used to detect the race
-    /// between a key CAS and the subsequent value store (see `insert`).
+    /// Set while a migration is copying cells; used by the write paths to
+    /// detect that their write may have raced the copy (landed in a cell
+    /// the copy had already passed) and needs repair on the new array.
     migrating: std::sync::atomic::AtomicBool,
 }
 
@@ -139,7 +159,9 @@ impl JunctionCore {
         let new = 'retry: loop {
             let new = Array::new(new_capacity);
             for i in 0..old.capacity {
-                let key = old.keys[i].load(Ordering::Acquire);
+                // key_at spins out in-flight claims, so a copied cell is
+                // always a fully published ⟨key, value⟩ pair.
+                let key = old.key_at(i);
                 if key != EMPTY && key != TOMBSTONE {
                     let value = old.values[i].load(Ordering::Acquire);
                     if new.insert(key, value, self.stride).is_err() {
@@ -213,55 +235,131 @@ macro_rules! junction_table {
             fn array(&mut self) -> Arc<Array> {
                 Arc::clone(self.cached.get(&self.table.core.current).0)
             }
+
+            /// THE migration-overlap protocol, in one place: run `op`
+            /// against the current array, then report whether it executed
+            /// with no migration overlapping it (`true` = clean).  On
+            /// overlap, the in-flight migration is drained before
+            /// returning, so the caller's next round runs against the
+            /// post-migration array.  A write that raced the copy may have
+            /// been reverted in the new array, so callers loop — with an
+            /// *idempotent* repair, as the rounds may repeat — until a
+            /// round comes back clean.
+            fn overlap_free(&mut self, op: impl FnOnce(&Array, u64)) -> bool {
+                let array = self.array();
+                let version = self.cached.cached_version();
+                op(&array, version);
+                if !self.table.core.migrating.load(Ordering::SeqCst)
+                    && self.table.core.current.version() == version
+                {
+                    return true;
+                }
+                while self.table.core.migrating.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+                false
+            }
+
+            /// Store `new(current)` into `k`'s cell if present.  A store
+            /// can race with a migration that already copied the cell into
+            /// the next array, silently reverting it; detect the overlap
+            /// (same scheme as `insert`) and repeat the store on the fresh
+            /// array so a reported-successful update is never lost.
+            ///
+            /// The committed value is computed once, from the first read,
+            /// and re-stored verbatim on repair iterations: recomputing
+            /// `new` against a value the migration copied *after* the
+            /// store landed would apply an increment-style update twice.
+            fn store_value(&mut self, k: Key, new: impl Fn(Value) -> Value) -> bool {
+                let stride = self.table.core.stride;
+                let mut committed: Option<Value> = None;
+                let mut present = false;
+                loop {
+                    let clean = self.overlap_free(|array, _| {
+                        present = match array.find_slot(k, stride) {
+                            Some(slot) => {
+                                let val = match committed {
+                                    Some(val) => val,
+                                    None => new(array.values[slot].load(Ordering::Acquire)),
+                                };
+                                array.values[slot].store(val, Ordering::Release);
+                                committed = Some(val);
+                                true
+                            }
+                            // Absent: never present, or erased concurrently
+                            // after an earlier successful store.
+                            None => false,
+                        };
+                    });
+                    if !present {
+                        return committed.is_some();
+                    }
+                    if clean {
+                        return true;
+                    }
+                }
+            }
         }
 
         impl MapHandle for $handle<'_> {
             fn insert(&mut self, k: Key, v: Value) -> bool {
+                assert_user_key(k);
+                let core = &self.table.core;
                 loop {
-                    let array = self.array();
-                    let version = self.cached.cached_version();
-                    match array.insert(k, v, self.table.core.stride) {
-                        Ok(true) => {
-                            // The value is stored *after* the key CAS; a
-                            // migration that copied the cell in between
-                            // would have taken a zero value into the new
-                            // array.  Detect the overlap and repair the
-                            // element on the new array.
-                            if self.table.core.migrating.load(Ordering::SeqCst)
-                                || self.table.core.current.version() != version
-                            {
-                                while self.table.core.migrating.load(Ordering::SeqCst) {
-                                    std::thread::yield_now();
-                                }
-                                // Repair on the post-migration array; keep
-                                // retrying through further migrations rather
-                                // than dropping the element.
-                                loop {
-                                    let fresh = self.array();
-                                    let fresh_version = self.cached.cached_version();
-                                    if let Some(slot) =
-                                        fresh.find_slot(k, self.table.core.stride)
-                                    {
-                                        fresh.values[slot].store(v, Ordering::Release);
-                                        break;
-                                    }
-                                    match fresh.insert(k, v, self.table.core.stride) {
-                                        Ok(_) => break,
-                                        Err(()) => self.table.core.migrate(fresh_version),
-                                    }
+                    let mut outcome = Err(());
+                    let clean = self.overlap_free(|array, version| {
+                        outcome = array.insert(k, v, core.stride);
+                        if outcome.is_err() {
+                            core.migrate(version);
+                        }
+                    });
+                    match outcome {
+                        // Present: the in-flight claim means the cell the
+                        // duplicate was seen in is fully published, so a
+                        // racing migration copies it intact — `false` holds
+                        // whether or not the round was clean.
+                        Ok(false) => return false,
+                        Ok(true) if clean => return true,
+                        Ok(true) => break,
+                        Err(()) => continue, // migrated; retry on the new array
+                    }
+                }
+                // The insert published in an array a migration was copying:
+                // the copy may have passed our cell before the publish,
+                // dropping the element.  Repair on the post-migration array,
+                // and only stop once a round lands with no further migration
+                // overlapping it.  Finding the key present is enough — a
+                // copied cell is never half-initialized — though the value
+                // may be a concurrent same-key writer's.  Residual anomalies
+                // this cannot resolve without the per-cell versioning the
+                // modeled design lacks: an insert that beat the copy on the
+                // fresh array leaves both inserters reporting `true`, and a
+                // repair round cannot tell "my publish was dropped by the
+                // copy" from "my publish survived and a concurrent erase
+                // removed it", so the re-insert can undo that erase.
+                loop {
+                    let mut stored = false;
+                    let clean = self.overlap_free(|fresh, fresh_version| {
+                        stored = if fresh.find_slot(k, core.stride).is_some() {
+                            true
+                        } else {
+                            match fresh.insert(k, v, core.stride) {
+                                Ok(_) => true,
+                                Err(()) => {
+                                    core.migrate(fresh_version);
+                                    false
                                 }
                             }
-                            return true;
-                        }
-                        Ok(false) => return false,
-                        Err(()) => {
-                            self.table.core.migrate(version);
-                        }
+                        };
+                    });
+                    if stored && clean {
+                        return true;
                     }
                 }
             }
 
             fn find(&mut self, k: Key) -> Option<Value> {
+                assert_user_key(k);
                 let array = self.array();
                 array
                     .find_slot(k, self.table.core.stride)
@@ -273,26 +371,13 @@ macro_rules! junction_table {
                 // read-modify-write updates are therefore not atomic (the
                 // paper excludes junction from the aggregation benchmark for
                 // exactly this reason).
-                let array = self.array();
-                match array.find_slot(k, self.table.core.stride) {
-                    Some(slot) => {
-                        let cur = array.values[slot].load(Ordering::Acquire);
-                        array.values[slot].store(up(cur, d), Ordering::Release);
-                        true
-                    }
-                    None => false,
-                }
+                assert_user_key(k);
+                self.store_value(k, |cur| up(cur, d))
             }
 
             fn update_overwrite(&mut self, k: Key, d: Value) -> bool {
-                let array = self.array();
-                match array.find_slot(k, self.table.core.stride) {
-                    Some(slot) => {
-                        array.values[slot].store(d, Ordering::Release);
-                        true
-                    }
-                    None => false,
-                }
+                assert_user_key(k);
+                self.store_value(k, |_| d)
             }
 
             fn insert_or_update(&mut self, k: Key, d: Value, up: fn(Value, Value) -> Value) -> InsertOrUpdate {
@@ -307,12 +392,46 @@ macro_rules! junction_table {
             }
 
             fn erase(&mut self, k: Key) -> bool {
-                let array = self.array();
-                match array.find_slot(k, self.table.core.stride) {
-                    Some(slot) => array.keys[slot]
-                        .compare_exchange(k, TOMBSTONE, Ordering::AcqRel, Ordering::Acquire)
-                        .is_ok(),
-                    None => false,
+                assert_user_key(k);
+                // Tombstoning can race with a migration that already copied
+                // the live cell into the next array, silently resurrecting
+                // the key; detect the overlap and repeat the erase on the
+                // fresh array (same scheme as the write paths).  A CAS win
+                // in an overlapped round does NOT count by itself — the copy
+                // may have reverted it, and the retry round decides: key
+                // still present means the tombstone was reverted and must be
+                // re-raced (a concurrent eraser may legitimately win it),
+                // key absent means it stuck (the copy skipped the
+                // tombstoned cell).  Counting a reverted win outright would
+                // let two concurrent erases of one element both report
+                // `true`.  A retry round that observes the key present
+                // supersedes any earlier reverted win (present means the
+                // revert definitely happened, so only that round's CAS
+                // counts), which narrows the residual double-`true` to the
+                // case where a second eraser tombstones the resurrected
+                // copy before our retry round observes it —
+                // indistinguishable without per-cell versioning.
+                let stride = self.table.core.stride;
+                let mut pending = false;
+                loop {
+                    let mut result = false;
+                    let clean = self.overlap_free(|array, _| {
+                        result = match array.find_slot(k, stride) {
+                            Some(slot) => array.keys[slot]
+                                .compare_exchange(
+                                    k,
+                                    TOMBSTONE,
+                                    Ordering::AcqRel,
+                                    Ordering::Acquire,
+                                )
+                                .is_ok(),
+                            None => pending,
+                        };
+                    });
+                    if clean {
+                        return result;
+                    }
+                    pending = result;
                 }
             }
 
@@ -378,6 +497,60 @@ mod tests {
         }
         for k in 2..20_002u64 {
             assert_eq!(h.find(k), Some(k * 2));
+        }
+    }
+
+    #[test]
+    fn migration_overlap_repairs_updates_and_erases() {
+        // Tiny table migrating constantly (one thread churns fresh inserts)
+        // while a second thread overwrites a stable key range and a third
+        // erases a disjoint one.  Exercises the overlap_free repair loops:
+        // a reverted store shows up as a stale final value, a resurrected
+        // tombstone as a find() hit on an erased key.
+        let t = JunctionLinear::with_capacity(8);
+        let mut h = t.handle();
+        for k in 2..202u64 {
+            assert!(h.insert(k, 1));
+        }
+        let rounds = 50u64;
+        std::thread::scope(|s| {
+            let t = &t;
+            s.spawn(move || {
+                let mut h = t.handle();
+                for k in 10_000..30_000u64 {
+                    h.insert(k, k);
+                    if k % 512 == 0 {
+                        h.quiesce();
+                    }
+                }
+            });
+            s.spawn(move || {
+                let mut h = t.handle();
+                for round in 0..rounds {
+                    for k in 2..102u64 {
+                        assert!(h.update_overwrite(k, round * 1_000 + k));
+                    }
+                    h.quiesce();
+                }
+            });
+            s.spawn(move || {
+                let mut h = t.handle();
+                for k in 102..202u64 {
+                    assert!(h.erase(k), "erase {k}");
+                    h.quiesce();
+                }
+            });
+        });
+        let mut h = t.handle();
+        for k in 2..102u64 {
+            assert_eq!(
+                h.find(k),
+                Some((rounds - 1) * 1_000 + k),
+                "stale value for {k}"
+            );
+        }
+        for k in 102..202u64 {
+            assert_eq!(h.find(k), None, "resurrected key {k}");
         }
     }
 

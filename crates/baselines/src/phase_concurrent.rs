@@ -24,7 +24,7 @@ use growt_iface::{
     Value,
 };
 
-use crate::util::{capacity_for, hash_key, scale};
+use crate::util::{assert_user_key, capacity_for, hash_key, scale};
 
 const EMPTY: u64 = 0;
 
@@ -84,6 +84,7 @@ impl ConcurrentMap for PhaseConcurrent {
 
 impl MapHandle for PhaseConcurrentHandle<'_> {
     fn insert(&mut self, k: Key, v: Value) -> bool {
+        assert_user_key(k);
         let t = self.table;
         // Priority insertion: the element with the larger key always sits
         // earlier in the probe sequence; the displaced key continues probing.
@@ -131,6 +132,7 @@ impl MapHandle for PhaseConcurrentHandle<'_> {
     }
 
     fn find(&mut self, k: Key) -> Option<Value> {
+        assert_user_key(k);
         let t = self.table;
         let mut index = t.home(k);
         for _ in 0..t.capacity {
@@ -153,6 +155,7 @@ impl MapHandle for PhaseConcurrentHandle<'_> {
     fn update(&mut self, k: Key, d: Value, _up: fn(Value, Value) -> Value) -> bool {
         // Only overwrites are supported (Table 1); the update function is
         // applied non-atomically, mirroring the original's semantics.
+        assert_user_key(k);
         let t = self.table;
         let mut index = t.home(k);
         for _ in 0..t.capacity {
@@ -200,6 +203,7 @@ impl MapHandle for PhaseConcurrentHandle<'_> {
     }
 
     fn erase(&mut self, k: Key) -> bool {
+        assert_user_key(k);
         let t = self.table;
         let mut index = t.home(k);
         // Find the element.

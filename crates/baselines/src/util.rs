@@ -1,5 +1,35 @@
 //! Shared helpers for the baseline implementations.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The in-flight insertion claim shared by the folly- and junction-style
+/// tables: an inserter CASes `EMPTY → INFLIGHT`, stores the value, then
+/// publishes the real key, so a published key always carries its value.
+pub const INFLIGHT: u64 = u64::MAX;
+
+/// Load a key cell, spinning out the (very short) `INFLIGHT` window so
+/// callers only ever observe a sentinel or a fully published key.  The
+/// window makes probes *lock-free rather than wait-free*: a claimer
+/// descheduled inside it stalls every probe through the cell until it runs
+/// again, so after a short spin the waiter yields its timeslice to the
+/// claimer instead of burning it.
+#[inline]
+pub fn load_published_key(cell: &AtomicU64) -> u64 {
+    let mut spins = 0u32;
+    loop {
+        let stored = cell.load(Ordering::Acquire);
+        if stored != INFLIGHT {
+            return stored;
+        }
+        spins += 1;
+        if spins < 64 {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
 /// The splitmix64 finalizer used by every table in the reproduction.
 #[inline]
 pub fn hash_key(mut x: u64) -> u64 {
@@ -29,9 +59,31 @@ pub fn capacity_for(expected: usize) -> usize {
     (expected.max(2) * 2).next_power_of_two()
 }
 
+/// Reject the key encodings the word-based baselines reserve for
+/// themselves: `0`/`1` serve as empty/tombstone sentinels and `u64::MAX`
+/// as an in-flight claim.  Analogous to growt-core's "key is reserved"
+/// assertion — core additionally rejects the upper key half, which it
+/// uses for mark bits; the baselines have no mark bits, so only the
+/// sentinel encodings are excluded here.  The guard makes a caller
+/// handing in a sentinel fail loudly instead of corrupting a table or
+/// wedging a probe loop (inserting `u64::MAX` into the folly-style
+/// table, for instance, would publish a cell that looks permanently
+/// in-flight and stall every probe through it).  The workload generators
+/// only produce keys in `2..1 << 63`, valid for every table family.
+#[inline]
+pub fn assert_user_key(key: u64) {
+    assert!(key >= 2 && key != u64::MAX, "key {key} is reserved");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn sentinel_keys_are_rejected() {
+        assert_user_key(u64::MAX);
+    }
 
     #[test]
     fn helpers_behave() {
