@@ -3,12 +3,16 @@
 //! ```text
 //! cargo run -p growt-bench --release --bin figure -- <id> [--ops N] [--threads 1,2,4]
 //!                                                        [--reps R] [--contention-threads P]
+//!                                                        [--json]
 //! ```
 //!
 //! `<id>` is one of: `table1`, `fig2a`, `fig2b`, `fig3a`, `fig3b`, `fig4a`,
 //! `fig4b`, `fig5a`, `fig5b`, `fig6`, `fig7a`, `fig7b`, `fig8a`, `fig8b`,
-//! `fig9a`, `fig9b`, `fig10`, `fig11a`, `fig11b`, `ablation_block`, or
-//! `all`.  Output is TSV on stdout (one block per figure).
+//! `fig9a`, `fig9b`, `fig10`, `fig11a`, `fig11b`, `ablation_block`,
+//! `ablation_batch`, or `all`.  Output is TSV on stdout (one block per
+//! figure).  With `--json`, `ablation_batch` additionally writes the
+//! machine-readable perf-trajectory record `BENCH_hotpath.json` (schema
+//! `growt-bench/hotpath-v1`) into the current directory.
 
 use growt_bench::*;
 
@@ -59,6 +63,9 @@ fn parse_args() -> (Vec<String>, HarnessConfig) {
                     .map(|s| s.parse().expect("numeric zipf exponent"))
                     .collect();
             }
+            "--json" => {
+                cfg.json = true;
+            }
             other if other.starts_with("--") => panic!("unknown option {other}"),
             id => ids.push(id.to_string()),
         }
@@ -95,6 +102,19 @@ fn run(id: &str, cfg: &HarnessConfig) {
         "fig11a" => fig11(cfg, false).to_tsv(),
         "fig11b" => fig11(cfg, true).to_tsv(),
         "ablation_block" => ablation_block(cfg).to_tsv(),
+        "ablation_batch" => {
+            let points = ablation_batch_points(cfg);
+            if cfg.json {
+                let json = batch_points_to_json(cfg, &points);
+                std::fs::write("BENCH_hotpath.json", &json)
+                    .expect("failed to write BENCH_hotpath.json");
+                eprintln!(
+                    "[figure] wrote BENCH_hotpath.json ({} points)",
+                    points.len()
+                );
+            }
+            batch_points_figure(&points).to_tsv()
+        }
         other => panic!("unknown figure id {other}"),
     };
     println!("{output}");
@@ -123,6 +143,7 @@ fn main() {
         "fig11a",
         "fig11b",
         "ablation_block",
+        "ablation_batch",
     ];
     for id in &ids {
         if id == "all" {

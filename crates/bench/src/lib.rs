@@ -22,9 +22,9 @@ use growt_core::{Folklore, PaGrow, PsGrow, TsxFolklore, UaGrow, UsGrow};
 use growt_iface::{capability_row, Capabilities, ConcurrentMap};
 use growt_seq::{SeqGrowingTable, SeqTable};
 use growt_workloads::{
-    aggregate_driver, deletion_driver, deletion_workload, dense_prefill_keys, find_driver,
-    insert_driver, mixed_driver, mixed_workload, prefill, uniform_distinct_keys, uniform_keys,
-    update_driver, zipf_keys, Figure, Repetitions, Series,
+    aggregate_driver, deletion_driver, deletion_workload, dense_prefill_keys, find_batch_driver,
+    find_driver, insert_batch_driver, insert_driver, mixed_driver, mixed_workload, prefill,
+    uniform_distinct_keys, uniform_keys, update_driver, zipf_keys, Figure, Repetitions, Series,
 };
 
 /// Harness configuration (op counts, thread grid, repetitions).
@@ -42,6 +42,9 @@ pub struct HarnessConfig {
     pub write_percents: Vec<u32>,
     /// Thread count used for fixed-p figures (paper: 48).
     pub contention_threads: usize,
+    /// Also write machine-readable JSON output where a figure supports it
+    /// (`ablation_batch` → `BENCH_hotpath.json`).
+    pub json: bool,
 }
 
 impl Default for HarnessConfig {
@@ -53,6 +56,7 @@ impl Default for HarnessConfig {
             zipf_s: vec![0.25, 0.5, 0.75, 0.85, 0.95, 1.0, 1.25, 1.5, 2.0],
             write_percents: vec![10, 20, 30, 40, 50, 60, 70, 80],
             contention_threads: 4,
+            json: false,
         }
     }
 }
@@ -649,6 +653,140 @@ pub fn ablation_block(cfg: &HarnessConfig) -> Figure {
     fig
 }
 
+/// Batch sizes K swept by [`ablation_batch`].  K = 1 is measured with the
+/// plain per-op drivers, so it is the true single-op baseline rather than
+/// a batch call of length one.
+pub const BATCH_SIZES: [usize; 5] = [1, 8, 16, 32, 64];
+
+/// One measured point of the batched-hot-path sweep (`ablation_batch`).
+#[derive(Debug, Clone)]
+pub struct BatchPoint {
+    /// Table implementation name (e.g. "folklore").
+    pub table: &'static str,
+    /// Operation: "insert" or "find".
+    pub op: &'static str,
+    /// Number of driver threads.
+    pub threads: usize,
+    /// Batch size K (1 = per-op loop baseline).
+    pub batch: usize,
+    /// Mean throughput over the repetitions, in MOps/s.
+    pub mops: f64,
+}
+
+fn batch_points_for<M: ConcurrentMap>(cfg: &HarnessConfig, points: &mut Vec<BatchPoint>) {
+    let keys = uniform_distinct_keys(cfg.ops, 1000);
+    let pairs: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k)).collect();
+    // The find sweep is read-only, so one prefilled table serves every
+    // (threads, K) combination.
+    let find_table = M::with_capacity(cfg.ops);
+    prefill_for::<M>(&find_table, &keys);
+    for &p in &cfg.threads {
+        let p_eff = effective_threads::<M>(p);
+        for &k in &BATCH_SIZES {
+            let mut reps = Repetitions::new();
+            for _ in 0..cfg.reps {
+                let table = M::with_capacity(cfg.ops);
+                reps.push(if k == 1 {
+                    insert_driver(&table, &keys, p_eff)
+                } else {
+                    insert_batch_driver(&table, &pairs, p_eff, k)
+                });
+            }
+            points.push(BatchPoint {
+                table: M::table_name(),
+                op: "insert",
+                threads: p,
+                batch: k,
+                mops: reps.mean_mops(),
+            });
+
+            let mut reps = Repetitions::new();
+            for _ in 0..cfg.reps {
+                reps.push(if k == 1 {
+                    find_driver(&find_table, &keys, p_eff)
+                } else {
+                    find_batch_driver(&find_table, &keys, p_eff, k)
+                });
+            }
+            points.push(BatchPoint {
+                table: M::table_name(),
+                op: "find",
+                threads: p,
+                batch: k,
+                mops: reps.mean_mops(),
+            });
+        }
+    }
+}
+
+/// Ablation: batched hot paths (hash → prefetch → probe, DESIGN.md).
+///
+/// Sweeps the batch size K over [`BATCH_SIZES`] for insertions into and
+/// finds on a pre-initialized table, for the folklore table and the
+/// default growing variant, across the configured thread grid.
+pub fn ablation_batch_points(cfg: &HarnessConfig) -> Vec<BatchPoint> {
+    let mut points = Vec::new();
+    batch_points_for::<Folklore>(cfg, &mut points);
+    batch_points_for::<UaGrow>(cfg, &mut points);
+    points
+}
+
+/// Render the batch sweep as a [`Figure`] (x axis = K, one series per
+/// table × operation × thread count).
+pub fn batch_points_figure(points: &[BatchPoint]) -> Figure {
+    let mut fig = Figure::new("ablation-batch-hot-paths", "batch-K");
+    for point in points {
+        let label = format!("{} {} p={}", point.table, point.op, point.threads);
+        match fig.series.iter_mut().find(|s| s.label == label) {
+            Some(series) => series.push(point.batch as f64, point.mops),
+            None => {
+                let mut series = Series::new(label);
+                series.push(point.batch as f64, point.mops);
+                fig.push(series);
+            }
+        }
+    }
+    fig
+}
+
+/// Serialize a batch sweep as the `BENCH_hotpath.json` perf-trajectory
+/// record.
+///
+/// Schema (`growt-bench/hotpath-v1`): a flat list of measured points so
+/// future PRs can diff throughput per `(table, op, threads, batch)`
+/// without parsing TSV —
+///
+/// ```json
+/// {
+///   "schema": "growt-bench/hotpath-v1",
+///   "figure": "ablation_batch",
+///   "ops": 1000000,
+///   "reps": 1,
+///   "unit": "mops",
+///   "results": [
+///     {"table": "folklore", "op": "find", "threads": 4, "batch": 16, "mops": 12.345}
+///   ]
+/// }
+/// ```
+pub fn batch_points_to_json(cfg: &HarnessConfig, points: &[BatchPoint]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"growt-bench/hotpath-v1\",\n");
+    out.push_str("  \"figure\": \"ablation_batch\",\n");
+    out.push_str(&format!("  \"ops\": {},\n", cfg.ops));
+    out.push_str(&format!("  \"reps\": {},\n", cfg.reps));
+    out.push_str("  \"unit\": \"mops\",\n");
+    out.push_str("  \"results\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 == points.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"table\": \"{}\", \"op\": \"{}\", \"threads\": {}, \"batch\": {}, \"mops\": {:.3}}}{comma}\n",
+            p.table, p.op, p.threads, p.batch, p.mops
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Table 1: the functionality overview of every implementation.
 pub fn table1() -> String {
     let mut rows: Vec<Capabilities> = vec![
@@ -694,6 +832,7 @@ pub fn smoke_config() -> HarnessConfig {
         zipf_s: vec![0.5, 1.0],
         write_percents: vec![20, 60],
         contention_threads: 2,
+        json: false,
     }
 }
 
@@ -753,6 +892,30 @@ mod tests {
             .series
             .iter()
             .all(|s| s.points.iter().all(|&(_, y)| y >= 0.0)));
+    }
+
+    #[test]
+    fn smoke_ablation_batch_and_json() {
+        let mut cfg = smoke_config();
+        cfg.ops = 10_000;
+        let points = ablation_batch_points(&cfg);
+        // 2 tables × 2 ops × |threads| × |BATCH_SIZES| points.
+        assert_eq!(points.len(), 2 * 2 * cfg.threads.len() * BATCH_SIZES.len());
+        assert!(points.iter().all(|p| p.mops > 0.0));
+        let fig = batch_points_figure(&points);
+        assert_eq!(fig.series.len(), 2 * 2 * cfg.threads.len());
+        assert!(fig
+            .series
+            .iter()
+            .all(|s| s.points.len() == BATCH_SIZES.len()));
+        assert!(fig.to_tsv().contains("folklore find p=2"));
+        let json = batch_points_to_json(&cfg, &points);
+        assert!(json.contains("\"schema\": \"growt-bench/hotpath-v1\""));
+        assert!(json.contains("\"table\": \"uaGrow\""));
+        // Crude structural validity: balanced braces/brackets, one result
+        // object per point.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches("{\"table\"").count(), points.len());
     }
 
     #[test]

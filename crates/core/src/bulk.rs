@@ -29,24 +29,21 @@ pub fn sort_by_hash(elements: &[(u64, u64)], capacity: usize) -> Vec<(u64, u64)>
         .iter()
         .map(|&(k, v)| (scale_to_capacity(hash_key(k), capacity), k, v))
         .collect();
-    // Stable sort by cell position so that later occurrences of a key stay
-    // behind earlier ones, then deduplicate keeping the last.
-    indexed.sort_by_key(|&(cell, _, _)| cell);
-    let mut result: Vec<(u64, u64)> = Vec::with_capacity(indexed.len());
-    for (_, k, v) in indexed {
-        result.push((k, v));
-    }
-    // Deduplicate by key, keeping the last occurrence.
-    let mut seen = std::collections::HashMap::with_capacity(result.len());
-    for (i, &(k, _)) in result.iter().enumerate() {
-        seen.insert(k, i);
-    }
-    let mut deduped = Vec::with_capacity(seen.len());
-    for (i, &(k, v)) in result.iter().enumerate() {
-        if seen.get(&k) == Some(&i) {
+    // Stable sort by (cell, key): the cell position stays the primary
+    // order (what the partitioned insertion needs), while the key as a
+    // secondary criterion makes every run of equal keys contiguous — with
+    // the *last* input occurrence at the end of its run (stability).
+    indexed.sort_by_key(|&(cell, k, _)| (cell, k));
+    // Deduplicate keeping the last occurrence with one reverse scan over
+    // the now key-contiguous runs (no hash table, no extra passes): the
+    // first element of each run seen in reverse order is the survivor.
+    let mut deduped: Vec<(u64, u64)> = Vec::with_capacity(indexed.len());
+    for &(_, k, v) in indexed.iter().rev() {
+        if deduped.last().is_none_or(|&(last, _)| last != k) {
             deduped.push((k, v));
         }
     }
+    deduped.reverse();
     deduped
 }
 
@@ -131,6 +128,26 @@ mod tests {
         assert_eq!(map[&10], 3);
         assert_eq!(map[&11], 5);
         assert_eq!(map[&12], 4);
+    }
+
+    #[test]
+    fn sort_by_hash_dedup_matches_hashmap_reference() {
+        // Heavily duplicated input: the reverse-scan dedup must agree with
+        // the obvious last-writer-wins reference on every key.
+        let elems: Vec<(u64, u64)> = (0..5_000u64).map(|i| (10 + i % 700, i)).collect();
+        let capacity = capacity_for(1000);
+        let sorted = sort_by_hash(&elems, capacity);
+        let reference: std::collections::HashMap<u64, u64> = elems.iter().copied().collect();
+        assert_eq!(sorted.len(), reference.len());
+        for &(k, v) in &sorted {
+            assert_eq!(v, reference[&k], "key {k}");
+        }
+        // Cell order must remain the primary sort criterion.
+        let cells: Vec<usize> = sorted
+            .iter()
+            .map(|&(k, _)| scale_to_capacity(hash_key(k), capacity))
+            .collect();
+        assert!(cells.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

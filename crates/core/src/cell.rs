@@ -18,9 +18,12 @@
 //!   before copying it; writers must never modify a marked cell.
 //!
 //! When the crate is compiled without the `cmpxchg16b` target feature the
-//! double-word CAS falls back to a process-global striped lock; this keeps
-//! the crate portable at the cost of lock-freedom (the benchmark build
-//! enables the feature through `.cargo/config.toml`).
+//! double-word CAS — and every single-word value mutation, which must not
+//! interleave with the fallback's non-atomic read-modify-write of the
+//! pair — falls back to a process-global striped lock; this keeps the
+//! crate portable at the cost of lock-freedom (the benchmark build
+//! enables the feature through `.cargo/config.toml`).  Reads stay
+//! lock-free on every build.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -119,8 +122,16 @@ impl Cell {
         }
     }
 
-    /// CAS only the value word (used by the synchronized growing variants,
-    /// where the marking protocol does not constrain value updates).
+    /// CAS only the value word (the single-word update fast paths of the
+    /// non-growing table and the synchronized growing variants, where the
+    /// marking protocol does not constrain value updates).
+    ///
+    /// On the striped-lock fallback build this (like every value-word
+    /// mutation) must take the stripe lock: the fallback `cas_pair` reads
+    /// and rewrites the value word non-atomically under its lock, so a
+    /// lock-free value CAS interleaving with it could be silently
+    /// overwritten (lost update).
+    #[cfg(all(target_arch = "x86_64", target_feature = "cmpxchg16b"))]
     #[inline]
     pub fn cas_value(&self, expected: u64, new: u64) -> Result<(), u64> {
         self.value
@@ -128,16 +139,54 @@ impl Cell {
             .map(|_| ())
     }
 
+    /// CAS only the value word (see the cmpxchg16b variant for the role;
+    /// stripe-locked here so it cannot interleave with a fallback
+    /// `cas_pair`'s read-modify-write of the same cell).
+    #[cfg(not(all(target_arch = "x86_64", target_feature = "cmpxchg16b")))]
+    pub fn cas_value(&self, expected: u64, new: u64) -> Result<(), u64> {
+        let lock = fallback::stripe_for(self as *const Cell as usize);
+        let _guard = lock.lock();
+        let observed = self.value.load(Ordering::Relaxed);
+        if observed == expected {
+            self.value.store(new, Ordering::Relaxed);
+            Ok(())
+        } else {
+            Err(observed)
+        }
+    }
+
     /// Unconditional atomic store of the value word (overwrite fast path).
+    #[cfg(all(target_arch = "x86_64", target_feature = "cmpxchg16b"))]
     #[inline]
     pub fn store_value(&self, new: u64) {
         self.value.store(new, Ordering::Release);
     }
 
+    /// Unconditional store of the value word, stripe-locked on the
+    /// fallback build (same lost-update hazard as [`Cell::cas_value`]).
+    #[cfg(not(all(target_arch = "x86_64", target_feature = "cmpxchg16b")))]
+    pub fn store_value(&self, new: u64) {
+        let lock = fallback::stripe_for(self as *const Cell as usize);
+        let _guard = lock.lock();
+        self.value.store(new, Ordering::Relaxed);
+    }
+
     /// Atomic fetch-and-add on the value word (aggregation fast path).
+    #[cfg(all(target_arch = "x86_64", target_feature = "cmpxchg16b"))]
     #[inline]
     pub fn fetch_add_value(&self, delta: u64) -> u64 {
         self.value.fetch_add(delta, Ordering::AcqRel)
+    }
+
+    /// Fetch-and-add on the value word, stripe-locked on the fallback
+    /// build (same lost-update hazard as [`Cell::cas_value`]).
+    #[cfg(not(all(target_arch = "x86_64", target_feature = "cmpxchg16b")))]
+    pub fn fetch_add_value(&self, delta: u64) -> u64 {
+        let lock = fallback::stripe_for(self as *const Cell as usize);
+        let _guard = lock.lock();
+        let old = self.value.load(Ordering::Relaxed);
+        self.value.store(old.wrapping_add(delta), Ordering::Relaxed);
+        old
     }
 
     /// Set the migration mark on this cell, retrying over concurrent

@@ -19,6 +19,14 @@ pub const MIGRATION_BLOCK: usize = 4096;
 /// the fill-factor trigger).
 pub const PROBE_LIMIT: usize = 8192;
 
+/// Width of the software pipeline used by the batched table operations
+/// (hash → prefetch → probe, §5.5 / DESIGN.md): how many home cells are
+/// hashed and prefetched before the first probe of the block runs.  16
+/// in-flight lines sit comfortably below the line-fill-buffer capacity of
+/// every x86-64 core this crate targets while already hiding most of the
+/// DRAM latency.
+pub const BATCH_PIPELINE: usize = 16;
+
 /// Compute the number of cells for an expected number of elements: the
 /// smallest power of two that is at least twice the expectation
 /// (§7: `2n ≤ size ≤ 4n`).

@@ -87,6 +87,35 @@ impl Default for GrowingOptions {
     }
 }
 
+/// Maximum number of elements a batched operation processes per
+/// begin_op/end_op window.  Bounds how long a synchronized-protocol handle
+/// can hold its busy flag (a migration leader spin-waits on it), while
+/// still amortizing the prologue over many pipelined probes.
+const BATCH_SEGMENT: usize = 512;
+
+/// Which batched write operation [`GrowHandle::run_batch`] is driving
+/// (selects the per-success counter bookkeeping).
+#[derive(Clone, Copy)]
+enum BatchKind {
+    Insert,
+    Update,
+    Erase,
+}
+
+/// Classification of one per-element outcome inside a batch.
+#[derive(Clone, Copy)]
+enum BatchDisposition {
+    /// The operation took effect (counted; insert/erase bookkeeping runs).
+    Success,
+    /// The operation completed without effect (duplicate insert, missing
+    /// key) — done, not replayed.
+    Noop,
+    /// The element hit a full table: trigger a growth, then replay.
+    RetryAfterGrow,
+    /// The element hit a live migration: help/wait, then replay.
+    RetryAfterMigration,
+}
+
 /// Migration coordinator states.
 const STATE_IDLE: u64 = 0;
 const STATE_PREPARING: u64 = 1;
@@ -609,7 +638,20 @@ impl<'a> GrowHandle<'a> {
     }
 
     /// Update the element at `key` to `up(current, d)`.
+    ///
+    /// Under the synchronized protocol the busy-flag exclusion guarantees
+    /// no migration overlaps the operation, so the update runs as a
+    /// single-word CAS on the value once the key word is verified (no
+    /// 128-bit CAS on the hot path); the marking protocol needs the
+    /// mark-aware full-cell CAS.
     pub fn update(&mut self, key: u64, d: u64, up: impl Fn(u64, u64) -> u64 + Copy) -> bool {
+        if self.inner.synchronized() && self.inner.htm.is_none() {
+            self.begin_op();
+            let table = self.table();
+            let outcome = table.update_value_cas_unsynchronized(key, d, up);
+            self.end_op();
+            return outcome == UpdateOutcome::Updated;
+        }
         loop {
             self.begin_op();
             let table = self.table();
@@ -711,6 +753,179 @@ impl<'a> GrowHandle<'a> {
                 EraseOutcome::Migrating => self.inner.help_or_wait(table.version()),
             }
         }
+    }
+
+    // -----------------------------------------------------------------
+    // Batched operations (§5.5 + DESIGN.md, hash → prefetch → probe)
+    //
+    // Each batch call runs the pipelined `BoundedTable` batch primitive
+    // on the current table generation and then re-batches the stragglers:
+    // elements whose outcome was `Migrating` (or `Full`, which triggers a
+    // growth) are collected and replayed on the new table generation once
+    // the migration has been helped with / waited for.  Every batch
+    // returns exactly what the per-op loop in slice order would return
+    // (duplicates included); note that the replay means a straggler can
+    // linearize after a later element of the same batch, so distinct keys
+    // may become visible to concurrent readers out of slice order while a
+    // migration is in flight.  Batches are cut into
+    // segments so that a synchronized-protocol handle never holds its busy
+    // flag across an unbounded amount of work (which would stall a
+    // migration leader waiting for quiescence).  The simulated-HTM fast
+    // path is not engaged on batch operations: the pipeline already
+    // executes the same fallback code the transactions would run.
+    // -----------------------------------------------------------------
+
+    /// Look up a whole batch of keys; `out[i]` receives `find(keys[i])`.
+    /// Reads never retry: like [`GrowHandle::find`] they may run on a
+    /// slightly stale (immutable) table generation.
+    pub fn find_batch(&mut self, keys: &[u64], out: &mut [Option<u64>]) {
+        assert_eq!(keys.len(), out.len(), "find_batch: length mismatch");
+        let table = self.table();
+        table.find_batch(keys, out);
+    }
+
+    /// Insert a batch of `⟨key, value⟩` pairs; returns the number of
+    /// elements actually inserted.
+    pub fn insert_batch(&mut self, elements: &[(u64, u64)]) -> usize {
+        for &(key, _) in elements {
+            assert!(
+                (2..=MAX_MARKABLE_KEY).contains(&key),
+                "key {key} is reserved"
+            );
+        }
+        self.run_batch(
+            BatchKind::Insert,
+            elements,
+            InsertOutcome::Full,
+            |table, pending, outcomes| table.insert_batch(pending, outcomes),
+            |outcome| match outcome {
+                InsertOutcome::Inserted { .. } => BatchDisposition::Success,
+                InsertOutcome::AlreadyPresent => BatchDisposition::Noop,
+                InsertOutcome::Full => BatchDisposition::RetryAfterGrow,
+                InsertOutcome::Migrating => BatchDisposition::RetryAfterMigration,
+            },
+        )
+    }
+
+    /// Update a batch of `⟨key, d⟩` pairs to `up(current, d)`; returns the
+    /// number of elements that were present and updated.
+    ///
+    /// Like [`GrowHandle::update`], the synchronized protocol runs the
+    /// whole batch through the single-word value-CAS fast path (no marks
+    /// can appear inside the busy window); the marking protocol keeps the
+    /// mark-aware full-cell CAS and re-batches `Migrating` stragglers.
+    pub fn update_batch(
+        &mut self,
+        elements: &[(u64, u64)],
+        up: impl Fn(u64, u64) -> u64 + Copy,
+    ) -> usize {
+        let classify = |outcome| match outcome {
+            UpdateOutcome::Updated => BatchDisposition::Success,
+            UpdateOutcome::NotFound => BatchDisposition::Noop,
+            UpdateOutcome::Migrating => BatchDisposition::RetryAfterMigration,
+        };
+        if self.inner.synchronized() && self.inner.htm.is_none() {
+            self.run_batch(
+                BatchKind::Update,
+                elements,
+                UpdateOutcome::NotFound,
+                |table, pending, outcomes| {
+                    table.update_batch_value_cas_unsynchronized(pending, up, outcomes)
+                },
+                classify,
+            )
+        } else {
+            self.run_batch(
+                BatchKind::Update,
+                elements,
+                UpdateOutcome::NotFound,
+                |table, pending, outcomes| table.update_batch_with(pending, up, outcomes),
+                classify,
+            )
+        }
+    }
+
+    /// Erase a batch of keys; returns the number of elements removed.
+    pub fn erase_batch(&mut self, keys: &[u64]) -> usize {
+        self.run_batch(
+            BatchKind::Erase,
+            keys,
+            EraseOutcome::NotFound,
+            |table, pending, outcomes| table.erase_batch(pending, outcomes),
+            |outcome| match outcome {
+                EraseOutcome::Erased => BatchDisposition::Success,
+                EraseOutcome::NotFound => BatchDisposition::Noop,
+                EraseOutcome::Migrating => BatchDisposition::RetryAfterMigration,
+            },
+        )
+    }
+
+    /// Shared segment-and-straggler replay loop of the three batched write
+    /// operations: run the table-level batch primitive on the current
+    /// generation, classify every outcome, compact the elements that must
+    /// be replayed back into `pending`, trigger/help the migration, and
+    /// repeat until the segment is drained.  Returns the number of
+    /// `Success` outcomes; per-success bookkeeping (approximate counters,
+    /// growth trigger) is selected by `kind`.
+    fn run_batch<T: Copy, O: Copy>(
+        &mut self,
+        kind: BatchKind,
+        elements: &[T],
+        default_outcome: O,
+        exec: impl Fn(&BoundedTable, &[T], &mut [O]),
+        classify: impl Fn(O) -> BatchDisposition,
+    ) -> usize {
+        let mut pending: Vec<T> = Vec::new();
+        let mut outcomes: Vec<O> = Vec::new();
+        let mut succeeded = 0usize;
+        for segment in elements.chunks(BATCH_SEGMENT) {
+            pending.clear();
+            pending.extend_from_slice(segment);
+            loop {
+                outcomes.clear();
+                outcomes.resize(pending.len(), default_outcome);
+                self.begin_op();
+                let table = self.table();
+                exec(&table, &pending, &mut outcomes);
+                self.end_op();
+                let capacity = table.capacity();
+                let version = table.version();
+                let mut need_grow = false;
+                let mut write = 0usize;
+                for read in 0..pending.len() {
+                    match classify(outcomes[read]) {
+                        BatchDisposition::Success => {
+                            succeeded += 1;
+                            match kind {
+                                BatchKind::Insert => self.after_insert(capacity, version),
+                                BatchKind::Update => {}
+                                BatchKind::Erase => self.after_delete(),
+                            }
+                        }
+                        BatchDisposition::Noop => {}
+                        BatchDisposition::RetryAfterGrow => {
+                            need_grow = true;
+                            pending[write] = pending[read];
+                            write += 1;
+                        }
+                        BatchDisposition::RetryAfterMigration => {
+                            pending[write] = pending[read];
+                            write += 1;
+                        }
+                    }
+                }
+                pending.truncate(write);
+                if pending.is_empty() {
+                    break;
+                }
+                if need_grow {
+                    self.inner.grow(version, &self.shared);
+                } else {
+                    self.inner.help_or_wait(version);
+                }
+            }
+        }
+        succeeded
     }
 
     /// Approximate number of live elements.
@@ -983,6 +1198,80 @@ mod tests {
             }
         });
         assert_eq!(table.size_exact_quiescent(), 30_000);
+    }
+
+    #[test]
+    fn batch_ops_across_growth_match_per_op_semantics() {
+        for (name, opts) in all_variants() {
+            let table = GrowingTable::with_options(32, opts);
+            let mut h = table.handle();
+            let elems: Vec<(u64, u64)> = (2..8_002u64).map(|k| (k, k * 3)).collect();
+            // The tiny initial capacity forces several migrations inside
+            // this one batch: the Migrating/Full stragglers are re-batched
+            // onto the new table generations.
+            assert_eq!(h.insert_batch(&elems), elems.len(), "{name}");
+            assert!(table.migrations_completed() > 0, "{name}: never migrated");
+            // Re-inserting is a no-op, exactly like the per-op loop.
+            assert_eq!(h.insert_batch(&elems[..100]), 0, "{name}");
+
+            let keys: Vec<u64> = elems.iter().map(|&(k, _)| k).collect();
+            let mut out = vec![None; keys.len()];
+            h.find_batch(&keys, &mut out);
+            for (&k, &f) in keys.iter().zip(out.iter()) {
+                assert_eq!(f, Some(k * 3), "{name}: find_batch {k}");
+            }
+
+            assert_eq!(
+                h.update_batch(&elems, |c, d| c.wrapping_add(d)),
+                elems.len(),
+                "{name}"
+            );
+            assert_eq!(h.find(2), Some(2 * 3 + 2 * 3), "{name}: update applied");
+
+            assert_eq!(h.erase_batch(&keys[..4_000]), 4_000, "{name}");
+            assert_eq!(h.erase_batch(&keys[..4_000]), 0, "{name}: double erase");
+            assert_eq!(table.size_exact_quiescent(), 4_000, "{name}");
+        }
+    }
+
+    #[test]
+    fn concurrent_insert_batches_race_migrations_without_loss() {
+        for (name, opts) in all_variants() {
+            let table = GrowingTable::with_options(32, opts);
+            let threads = 4u64;
+            let per_thread = 6_000u64;
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let table = &table;
+                    s.spawn(move || {
+                        let mut h = table.handle();
+                        let elems: Vec<(u64, u64)> = (0..per_thread)
+                            .map(|i| {
+                                let k = 2 + t * per_thread + i;
+                                (k, k)
+                            })
+                            .collect();
+                        let mut inserted = 0;
+                        for chunk in elems.chunks(64) {
+                            inserted += h.insert_batch(chunk);
+                        }
+                        assert_eq!(inserted, per_thread as usize, "{name}");
+                    });
+                }
+            });
+            assert_eq!(
+                table.size_exact_quiescent(),
+                (threads * per_thread) as usize,
+                "{name}: lost elements in racing batches"
+            );
+            let mut h = table.handle();
+            let keys: Vec<u64> = (2..2 + threads * per_thread).collect();
+            let mut out = vec![None; keys.len()];
+            h.find_batch(&keys, &mut out);
+            for (&k, &f) in keys.iter().zip(out.iter()) {
+                assert_eq!(f, Some(k), "{name}: find_batch {k}");
+            }
+        }
     }
 
     #[test]

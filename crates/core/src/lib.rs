@@ -16,6 +16,8 @@
 //! * [`variants`] — the public table types used in the evaluation:
 //!   `Folklore`, `TsxFolklore`, `UaGrow`, `UsGrow`, `PaGrow`, `PsGrow` (§7);
 //! * [`bulk`] — bulk construction and batched insertion (§5.5);
+//! * [`prefetch`] — cache-line prefetch helpers for the batched
+//!   (hash → prefetch → probe) hot paths;
 //! * [`keyspace`] — restoring the full 64-bit key space (§5.6);
 //! * [`complex`] — complex (non-word) key support via indirection with
 //!   hash signatures (§5.7).
@@ -30,6 +32,7 @@ pub mod count;
 pub mod grow;
 pub mod keyspace;
 pub mod migrate;
+pub mod prefetch;
 pub mod table;
 pub mod variants;
 

@@ -28,7 +28,8 @@
 //!   does not apply, and as the baseline of the migration ablation).
 
 use crate::cell::{unmark, DEL_KEY, EMPTY_KEY};
-use crate::config::scale_to_capacity;
+use crate::config::{hash_key, scale_to_capacity, BATCH_PIPELINE};
+use crate::prefetch::{prefetch_write, CELLS_PER_LINE};
 use crate::table::BoundedTable;
 
 /// How source cells are read/frozen during migration.
@@ -108,18 +109,30 @@ fn migrate_block(
         return 0;
     }
 
+    let mask = capacity - 1;
     let mut migrated = 0usize;
     let mut index = block_start;
+
+    // Prefetch-ahead policy: freezing walks the source linearly, so every
+    // time the walk crosses into a new cache line the next source line is
+    // prefetched (the freeze CAS then finds it in L1); target lines are
+    // prefetched as soon as an element's destination is known — i.e. while
+    // the rest of its cluster is still being frozen — by collecting each
+    // cluster before placing it (hash → prefetch → probe, DESIGN.md).
+    prefetch_write(src.cell(block_start));
 
     // Freeze the cell immediately before the block: its (frozen) emptiness
     // decides whether the first run of non-empty cells in this block is a
     // cluster start (we migrate it) or the tail of a cluster owned by an
     // earlier block (we only freeze and skip it).
-    let prev = (block_start + capacity - 1) & (capacity - 1);
+    let prev = (block_start + capacity - 1) & mask;
     let (prev_key, _) = freeze(src, prev, mode);
     if prev_key != EMPTY_KEY {
         // Skip (but freeze) the foreign cluster tail.
         while index < block_end {
+            if index.is_multiple_of(CELLS_PER_LINE) {
+                prefetch_write(src.cell((index + CELLS_PER_LINE) & mask));
+            }
             let (key, _) = freeze(src, index, mode);
             index += 1;
             if key == EMPTY_KEY {
@@ -139,16 +152,26 @@ fn migrate_block(
 
     // Migrate clusters that start at or after `index` and before the block
     // end.  A cluster may extend past the block end (we own it entirely).
+    // Each cluster is collected (freezing source cells and prefetching the
+    // destination line of every live element) and only then placed, so the
+    // target misses overlap with the source walk.  Placement happens in
+    // collection order, producing exactly the layout a sequential
+    // migration would (Lemma 1).
+    let mut cluster: Vec<(u64, u64)> = Vec::new();
     while index < block_end {
+        if index.is_multiple_of(CELLS_PER_LINE) {
+            prefetch_write(src.cell((index + CELLS_PER_LINE) & mask));
+        }
         let (key, value) = freeze(src, index, mode);
         index += 1;
         if key == EMPTY_KEY {
             continue;
         }
         // `index - 1` is the first cell of a cluster.
+        cluster.clear();
         if key != DEL_KEY {
-            place_sequential(dst, key, value);
-            migrated += 1;
+            prefetch_write(dst.cell(scale_to_capacity(hash_key(key), dst.capacity())));
+            cluster.push((key, value));
         }
         // Walk the rest of the cluster (possibly past the block end).
         let mut walked = 0usize;
@@ -159,7 +182,10 @@ fn migrate_block(
                 // against an endless walk anyway.
                 break;
             }
-            let wrapped = index & (capacity - 1);
+            let wrapped = index & mask;
+            if wrapped.is_multiple_of(CELLS_PER_LINE) {
+                prefetch_write(src.cell((wrapped + CELLS_PER_LINE) & mask));
+            }
             let (k, v) = freeze(src, wrapped, mode);
             index += 1;
             walked += 1;
@@ -167,10 +193,14 @@ fn migrate_block(
                 break;
             }
             if k != DEL_KEY {
-                place_sequential(dst, k, v);
-                migrated += 1;
+                prefetch_write(dst.cell(scale_to_capacity(hash_key(k), dst.capacity())));
+                cluster.push((k, v));
             }
         }
+        for &(k, v) in &cluster {
+            place_sequential(dst, k, v);
+        }
+        migrated += cluster.len();
         // `index` is now one past the empty cell that ended the cluster.  If
         // the walk overshot the block end, every cluster starting in the
         // overshot range has already been handled by us.
@@ -198,9 +228,26 @@ pub fn migrate_block_rehash(
         FreezeMode::Plain
     };
     let mut migrated = 0usize;
-    for index in block_start..block_end {
-        let (key, value) = freeze(src, index, mode);
-        if key != EMPTY_KEY && key != DEL_KEY {
+    // Pipelined in chunks: prefetch the chunk's source lines, freeze and
+    // collect the live elements (prefetching each element's target line),
+    // then run the CAS insertions — the same hash → prefetch → probe
+    // shape as the batched table operations.
+    let mut live: Vec<(u64, u64)> = Vec::with_capacity(BATCH_PIPELINE);
+    let mut chunk_start = block_start;
+    while chunk_start < block_end {
+        let chunk_end = (chunk_start + BATCH_PIPELINE).min(block_end);
+        for index in (chunk_start..chunk_end).step_by(CELLS_PER_LINE) {
+            prefetch_write(src.cell(index));
+        }
+        live.clear();
+        for index in chunk_start..chunk_end {
+            let (key, value) = freeze(src, index, mode);
+            if key != EMPTY_KEY && key != DEL_KEY {
+                prefetch_write(dst.cell(scale_to_capacity(hash_key(key), dst.capacity())));
+                live.push((key, value));
+            }
+        }
+        for &(key, value) in &live {
             match dst.insert(key, value) {
                 crate::table::InsertOutcome::Inserted { .. } => migrated += 1,
                 // The key can already be present if the source table briefly
@@ -210,6 +257,7 @@ pub fn migrate_block_rehash(
                 outcome => panic!("rehash migration failed: {outcome:?}"),
             }
         }
+        chunk_start = chunk_end;
     }
     migrated
 }

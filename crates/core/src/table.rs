@@ -10,7 +10,8 @@
 //! `BoundedTable` and migrates it into a larger one when it fills up.
 
 use crate::cell::{is_marked, unmark, Cell, DEL_KEY, EMPTY_KEY, MARK_BIT};
-use crate::config::{capacity_for, hash_key, scale_to_capacity, PROBE_LIMIT};
+use crate::config::{capacity_for, hash_key, scale_to_capacity, BATCH_PIPELINE, PROBE_LIMIT};
+use crate::prefetch::{prefetch_read, prefetch_write, CELLS_PER_LINE};
 
 /// Outcome of an insertion attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,9 +122,53 @@ impl BoundedTable {
         scale_to_capacity(hash_key(key), self.capacity)
     }
 
+    /// Advance a probe index and, whenever the run crosses into a new
+    /// cache line, prefetch one line ahead.  Probe runs longer than one
+    /// line (4 cells) otherwise pay a fresh cold miss per line; the
+    /// prefetch overlaps that miss with the probes of the current line.
     #[inline]
-    fn next_index(&self, index: usize) -> usize {
-        (index + 1) & (self.capacity - 1)
+    fn next_index_prefetched(&self, index: usize) -> usize {
+        let next = (index + 1) & (self.capacity - 1);
+        if next.is_multiple_of(CELLS_PER_LINE) {
+            prefetch_read(self.cell((next + CELLS_PER_LINE) & (self.capacity - 1)));
+        }
+        next
+    }
+
+    /// Shared skeleton of every batched operation — the hash → prefetch →
+    /// probe pipeline: cut `items` into [`BATCH_PIPELINE`]-sized chunks,
+    /// compute and prefetch the home cell of every key in a chunk, then
+    /// run `probe` per item in slice order (so a batch is observably the
+    /// per-op loop).  `write_hint` selects the prefetch flavour for
+    /// modifying probes.
+    #[inline]
+    fn batch_pipeline<T: Copy, R>(
+        &self,
+        items: &[T],
+        out: &mut [R],
+        label: &str,
+        write_hint: bool,
+        key_of: impl Fn(&T) -> u64,
+        probe: impl Fn(&T, usize) -> R,
+    ) {
+        assert_eq!(items.len(), out.len(), "{label}: length mismatch");
+        let mut homes = [0usize; BATCH_PIPELINE];
+        for (chunk, out_chunk) in items
+            .chunks(BATCH_PIPELINE)
+            .zip(out.chunks_mut(BATCH_PIPELINE))
+        {
+            for (slot, item) in homes.iter_mut().zip(chunk.iter()) {
+                *slot = self.home_cell(key_of(item));
+                if write_hint {
+                    prefetch_write(self.cell(*slot));
+                } else {
+                    prefetch_read(self.cell(*slot));
+                }
+            }
+            for ((item, slot), &home) in chunk.iter().zip(out_chunk.iter_mut()).zip(homes.iter()) {
+                *slot = probe(item, home);
+            }
+        }
     }
 
     // ---------------------------------------------------------------------
@@ -134,8 +179,18 @@ impl BoundedTable {
     /// and marked cells (the value of a marked cell is frozen and therefore
     /// valid to return).
     pub fn find(&self, key: u64) -> Option<u64> {
+        let home = self.home_cell(key);
+        self.find_probe(key, home)
+    }
+
+    /// Probe for `key` starting at a precomputed `home` cell (the batched
+    /// pipeline hashes and prefetches all home cells of a block before
+    /// running any probe, then calls this).
+    #[inline]
+    fn find_probe(&self, key: u64, home: usize) -> Option<u64> {
         debug_assert!(!crate::cell::is_sentinel(key));
-        let mut index = self.home_cell(key);
+        debug_assert_eq!(home, self.home_cell(key));
+        let mut index = home;
         for _ in 0..self.capacity.min(PROBE_LIMIT) {
             let cell = self.cell(index);
             let stored_key = cell.load_key();
@@ -148,9 +203,25 @@ impl BoundedTable {
                 // newest value for this key (§4).
                 return Some(cell.load_value());
             }
-            index = self.next_index(index);
+            index = self.next_index_prefetched(index);
         }
         None
+    }
+
+    /// Look up a whole batch of keys with the hash → prefetch → probe
+    /// pipeline: home cells of up to [`BATCH_PIPELINE`] keys are computed
+    /// and prefetched before the first probe runs, so the cold misses of a
+    /// block overlap instead of serializing.  `out[i]` receives the result
+    /// of `find(keys[i])`; never writes to the table.
+    pub fn find_batch(&self, keys: &[u64], out: &mut [Option<u64>]) {
+        self.batch_pipeline(
+            keys,
+            out,
+            "find_batch",
+            false,
+            |&k| k,
+            |&k, home| self.find_probe(k, home),
+        );
     }
 
     // ---------------------------------------------------------------------
@@ -159,13 +230,20 @@ impl BoundedTable {
 
     /// Insert `⟨key, value⟩` if the key is not yet present.
     pub fn insert(&self, key: u64, value: u64) -> InsertOutcome {
+        let home = self.home_cell(key);
+        self.insert_probe(key, value, home)
+    }
+
+    #[inline]
+    fn insert_probe(&self, key: u64, value: u64, home: usize) -> InsertOutcome {
         debug_assert!(!crate::cell::is_sentinel(key));
         debug_assert_eq!(
             key & MARK_BIT,
             0,
             "application keys must not use the mark bit"
         );
-        let mut index = self.home_cell(key);
+        debug_assert_eq!(home, self.home_cell(key));
+        let mut index = home;
         let limit = self.capacity.min(PROBE_LIMIT);
         let mut probe = 0usize;
         while probe < limit {
@@ -185,10 +263,27 @@ impl BoundedTable {
             if unmark(stored_key) == key {
                 return InsertOutcome::AlreadyPresent;
             }
-            index = self.next_index(index);
+            index = self.next_index_prefetched(index);
             probe += 1;
         }
         InsertOutcome::Full
+    }
+
+    /// Insert a batch of `⟨key, value⟩` pairs with the pipelined fast path
+    /// (see [`BoundedTable::find_batch`]); `outcomes[i]` receives the
+    /// outcome of `insert(elements[i])`.  The probes execute in slice
+    /// order, so duplicate keys inside one batch behave exactly like the
+    /// per-op loop: the first occurrence wins, later ones report
+    /// [`InsertOutcome::AlreadyPresent`].
+    pub fn insert_batch(&self, elements: &[(u64, u64)], outcomes: &mut [InsertOutcome]) {
+        self.batch_pipeline(
+            elements,
+            outcomes,
+            "insert_batch",
+            true,
+            |&(k, _)| k,
+            |&(k, v), home| self.insert_probe(k, v, home),
+        );
     }
 
     // ---------------------------------------------------------------------
@@ -198,8 +293,21 @@ impl BoundedTable {
     /// Update the value of `key` to `up(current, d)` using a full-cell CAS
     /// (mark-aware; safe under the asynchronous migration protocol).
     pub fn update_with(&self, key: u64, d: u64, up: impl Fn(u64, u64) -> u64) -> UpdateOutcome {
+        let home = self.home_cell(key);
+        self.update_probe(key, d, up, home)
+    }
+
+    #[inline]
+    fn update_probe(
+        &self,
+        key: u64,
+        d: u64,
+        up: impl Fn(u64, u64) -> u64,
+        home: usize,
+    ) -> UpdateOutcome {
         debug_assert!(!crate::cell::is_sentinel(key));
-        let mut index = self.home_cell(key);
+        debug_assert_eq!(home, self.home_cell(key));
+        let mut index = home;
         for _ in 0..self.capacity.min(PROBE_LIMIT) {
             let cell = self.cell(index);
             loop {
@@ -223,9 +331,104 @@ impl BoundedTable {
                 }
                 break;
             }
-            index = self.next_index(index);
+            index = self.next_index_prefetched(index);
         }
         UpdateOutcome::NotFound
+    }
+
+    /// Apply `update_with` to a batch of `⟨key, d⟩` pairs with the
+    /// pipelined fast path; `outcomes[i]` receives the outcome for
+    /// `elements[i]`.  Probes execute in slice order (duplicate keys inside
+    /// one batch are applied sequentially, like the per-op loop).
+    pub fn update_batch_with(
+        &self,
+        elements: &[(u64, u64)],
+        up: impl Fn(u64, u64) -> u64 + Copy,
+        outcomes: &mut [UpdateOutcome],
+    ) {
+        self.batch_pipeline(
+            elements,
+            outcomes,
+            "update_batch_with",
+            true,
+            |&(k, _)| k,
+            |&(k, d), home| self.update_probe(k, d, up, home),
+        );
+    }
+
+    /// Update the value of `key` to `up(current, d)` with a single-word
+    /// CAS on the value once the key word has been verified — no 128-bit
+    /// CAS on the hot path.
+    ///
+    /// Like [`BoundedTable::update_overwrite_unsynchronized`] this is only
+    /// legal where migrations cannot run concurrently (non-growing tables,
+    /// or the synchronized growing protocol): a value-only CAS does not
+    /// observe the mark bit, so under the asynchronous marking protocol it
+    /// could modify a cell that has already been frozen and copied.
+    /// Racing a concurrent `erase` is benign: the tombstone keeps the
+    /// value word, so a value CAS that lands after the tombstone merely
+    /// updates a dead cell — equivalent to the update linearizing
+    /// immediately before the deletion.
+    pub fn update_value_cas_unsynchronized(
+        &self,
+        key: u64,
+        d: u64,
+        up: impl Fn(u64, u64) -> u64,
+    ) -> UpdateOutcome {
+        let home = self.home_cell(key);
+        self.update_value_cas_probe(key, d, up, home)
+    }
+
+    #[inline]
+    fn update_value_cas_probe(
+        &self,
+        key: u64,
+        d: u64,
+        up: impl Fn(u64, u64) -> u64,
+        home: usize,
+    ) -> UpdateOutcome {
+        debug_assert!(!crate::cell::is_sentinel(key));
+        debug_assert_eq!(home, self.home_cell(key));
+        let mut index = home;
+        for _ in 0..self.capacity.min(PROBE_LIMIT) {
+            let cell = self.cell(index);
+            let stored_key = unmark(cell.load_key());
+            if stored_key == EMPTY_KEY {
+                return UpdateOutcome::NotFound;
+            }
+            if stored_key == key {
+                let mut current = cell.load_value();
+                loop {
+                    match cell.cas_value(current, up(current, d)) {
+                        Ok(()) => return UpdateOutcome::Updated,
+                        Err(observed) => current = observed,
+                    }
+                }
+            }
+            index = self.next_index_prefetched(index);
+        }
+        UpdateOutcome::NotFound
+    }
+
+    /// The pipelined batch form of
+    /// [`BoundedTable::update_value_cas_unsynchronized`] (same legality
+    /// caveat: only where migrations cannot run concurrently), so batched
+    /// updates keep the single-word value-CAS fast path of the per-op
+    /// call.  Never returns [`UpdateOutcome::Migrating`].
+    pub fn update_batch_value_cas_unsynchronized(
+        &self,
+        elements: &[(u64, u64)],
+        up: impl Fn(u64, u64) -> u64 + Copy,
+        outcomes: &mut [UpdateOutcome],
+    ) {
+        self.batch_pipeline(
+            elements,
+            outcomes,
+            "update_batch_value_cas_unsynchronized",
+            true,
+            |&(k, _)| k,
+            |&(k, d), home| self.update_value_cas_probe(k, d, up, home),
+        );
     }
 
     /// Insert `⟨key, d⟩` or update an existing value to `up(current, d)`
@@ -261,7 +464,7 @@ impl BoundedTable {
                 }
                 break;
             }
-            index = self.next_index(index);
+            index = self.next_index_prefetched(index);
             probe += 1;
         }
         UpsertOutcome::Full
@@ -285,7 +488,7 @@ impl BoundedTable {
                 cell.store_value(value);
                 return UpdateOutcome::Updated;
             }
-            index = self.next_index(index);
+            index = self.next_index_prefetched(index);
         }
         UpdateOutcome::NotFound
     }
@@ -313,7 +516,7 @@ impl BoundedTable {
                 cell.fetch_add_value(d);
                 return UpsertOutcome::Updated;
             }
-            index = self.next_index(index);
+            index = self.next_index_prefetched(index);
             probe += 1;
         }
         UpsertOutcome::Full
@@ -327,8 +530,15 @@ impl BoundedTable {
     /// untouched so concurrent torn reads still observe the pre-deletion
     /// element.
     pub fn erase(&self, key: u64) -> EraseOutcome {
+        let home = self.home_cell(key);
+        self.erase_probe(key, home)
+    }
+
+    #[inline]
+    fn erase_probe(&self, key: u64, home: usize) -> EraseOutcome {
         debug_assert!(!crate::cell::is_sentinel(key));
-        let mut index = self.home_cell(key);
+        debug_assert_eq!(home, self.home_cell(key));
+        let mut index = home;
         for _ in 0..self.capacity.min(PROBE_LIMIT) {
             let cell = self.cell(index);
             loop {
@@ -349,9 +559,24 @@ impl BoundedTable {
                 }
                 break;
             }
-            index = self.next_index(index);
+            index = self.next_index_prefetched(index);
         }
         EraseOutcome::NotFound
+    }
+
+    /// Erase a batch of keys with the pipelined fast path; `outcomes[i]`
+    /// receives the outcome of `erase(keys[i])`.  Probes execute in slice
+    /// order, so a key occurring twice in one batch is erased exactly once
+    /// (the second occurrence reports [`EraseOutcome::NotFound`]).
+    pub fn erase_batch(&self, keys: &[u64], outcomes: &mut [EraseOutcome]) {
+        self.batch_pipeline(
+            keys,
+            outcomes,
+            "erase_batch",
+            true,
+            |&k| k,
+            |&k, home| self.erase_probe(k, home),
+        );
     }
 
     // ---------------------------------------------------------------------
@@ -613,6 +838,105 @@ mod tests {
         });
         let total: u64 = (0..7u64).map(|k| t.find(100 + k).unwrap()).sum();
         assert_eq!(total, 4 * 10_000);
+    }
+
+    #[test]
+    fn batch_ops_match_per_op_loop() {
+        // Drive one table with batch calls and a twin with the per-op
+        // loop; every result and the final contents must coincide.
+        let batched = BoundedTable::with_expected_elements(2048);
+        let looped = BoundedTable::with_expected_elements(2048);
+        // 100 distinct keys, each appearing twice (duplicates in-batch).
+        let mut elems: Vec<(u64, u64)> = (0..100u64).map(|i| (10 + i * 3, i)).collect();
+        let dup: Vec<(u64, u64)> = elems.iter().map(|&(k, v)| (k, v + 1000)).collect();
+        elems.extend(dup);
+
+        let mut outcomes = vec![InsertOutcome::Full; elems.len()];
+        batched.insert_batch(&elems, &mut outcomes);
+        for (&(k, v), &outcome) in elems.iter().zip(outcomes.iter()) {
+            assert_eq!(outcome, looped.insert(k, v), "insert {k}");
+        }
+
+        let keys: Vec<u64> = elems.iter().map(|&(k, _)| k).chain(5000..5040).collect();
+        let mut found = vec![None; keys.len()];
+        batched.find_batch(&keys, &mut found);
+        for (&k, &f) in keys.iter().zip(found.iter()) {
+            assert_eq!(f, looped.find(k), "find {k}");
+        }
+
+        let mut up_outcomes = vec![UpdateOutcome::NotFound; elems.len()];
+        batched.update_batch_with(&elems, |c, d| c.wrapping_add(d), &mut up_outcomes);
+        for (&(k, d), &outcome) in elems.iter().zip(up_outcomes.iter()) {
+            assert_eq!(
+                outcome,
+                looped.update_with(k, d, |c, d| c.wrapping_add(d)),
+                "update {k}"
+            );
+        }
+
+        // The value-CAS batch variant must report the same outcomes as the
+        // full-cell-CAS batch (both tables see identical states here).
+        let mut cas_outcomes = vec![UpdateOutcome::NotFound; elems.len()];
+        batched.update_batch_value_cas_unsynchronized(
+            &elems,
+            |c, d| c.wrapping_add(d),
+            &mut cas_outcomes,
+        );
+        let mut loop_outcomes = vec![UpdateOutcome::NotFound; elems.len()];
+        looped.update_batch_with(&elems, |c, d| c.wrapping_add(d), &mut loop_outcomes);
+        assert_eq!(cas_outcomes, loop_outcomes);
+
+        let mut er_outcomes = vec![EraseOutcome::NotFound; keys.len()];
+        batched.erase_batch(&keys, &mut er_outcomes);
+        for (&k, &outcome) in keys.iter().zip(er_outcomes.iter()) {
+            assert_eq!(outcome, looped.erase(k), "erase {k}");
+        }
+
+        assert_eq!(batched.scan_counts(), looped.scan_counts());
+    }
+
+    #[test]
+    fn batch_insert_respects_migration_marks() {
+        let t = BoundedTable::with_cells(16, 0);
+        for i in 0..16 {
+            t.cell(i).mark_for_migration();
+        }
+        let elems: Vec<(u64, u64)> = (2..10u64).map(|k| (k, k)).collect();
+        let mut outcomes = vec![InsertOutcome::Full; elems.len()];
+        t.insert_batch(&elems, &mut outcomes);
+        assert!(outcomes.iter().all(|&o| o == InsertOutcome::Migrating));
+    }
+
+    #[test]
+    fn update_value_cas_matches_full_cell_cas() {
+        let t = BoundedTable::with_expected_elements(64);
+        t.insert(5, 10);
+        assert_eq!(
+            t.update_value_cas_unsynchronized(5, 7, |c, d| c + d),
+            UpdateOutcome::Updated
+        );
+        assert_eq!(t.find(5), Some(17));
+        assert_eq!(
+            t.update_value_cas_unsynchronized(6, 7, |c, d| c + d),
+            UpdateOutcome::NotFound
+        );
+        // Concurrent value-CAS increments are exact.
+        let t = Arc::new(BoundedTable::with_expected_elements(64));
+        t.insert(9, 0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        assert_eq!(
+                            t.update_value_cas_unsynchronized(9, 1, |c, d| c + d),
+                            UpdateOutcome::Updated
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(t.find(9), Some(40_000));
     }
 
     #[test]

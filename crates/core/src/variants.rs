@@ -24,6 +24,30 @@ fn threads_hint() -> usize {
         .unwrap_or(4)
 }
 
+/// Per-call scratch size of the allocation-free batch overrides (a
+/// multiple of the table pipeline width, see `config::BATCH_PIPELINE`).
+const BATCH_CHUNK: usize = 64;
+
+/// Shared wrapper of the folklore batch overrides: run the table-level
+/// batch primitive over `BATCH_CHUNK`-sized chunks against a fixed-size
+/// outcome scratch (no allocation on the fast path) and count the
+/// outcomes `success` accepts.
+fn count_batched<T: Copy, O: Copy>(
+    items: &[T],
+    default_outcome: O,
+    run: impl Fn(&[T], &mut [O]),
+    success: impl Fn(O) -> bool,
+) -> usize {
+    let mut outcomes = [default_outcome; BATCH_CHUNK];
+    let mut count = 0;
+    for chunk in items.chunks(BATCH_CHUNK) {
+        let out = &mut outcomes[..chunk.len()];
+        run(chunk, out);
+        count += out.iter().filter(|&&o| success(o)).count();
+    }
+    count
+}
+
 // ---------------------------------------------------------------------------
 // Folklore (bounded, non-growing)
 // ---------------------------------------------------------------------------
@@ -77,7 +101,9 @@ impl MapHandle for FolkloreHandle<'_> {
     }
 
     fn update(&mut self, k: Key, d: Value, up: fn(Value, Value) -> Value) -> bool {
-        self.table.update_with(k, d, up) == UpdateOutcome::Updated
+        // Non-growing table: no marking protocol can interleave, so the
+        // single-word value-CAS fast path is always legal (§4).
+        self.table.update_value_cas_unsynchronized(k, d, up) == UpdateOutcome::Updated
     }
 
     fn insert_or_update(
@@ -94,6 +120,41 @@ impl MapHandle for FolkloreHandle<'_> {
 
     fn erase(&mut self, k: Key) -> bool {
         self.table.erase(k) == EraseOutcome::Erased
+    }
+
+    fn find_batch(&mut self, keys: &[Key], out: &mut [Option<Value>]) {
+        self.table.find_batch(keys, out);
+    }
+
+    fn insert_batch(&mut self, elements: &[(Key, Value)]) -> usize {
+        count_batched(
+            elements,
+            InsertOutcome::Full,
+            |chunk, out| self.table.insert_batch(chunk, out),
+            |o| matches!(o, InsertOutcome::Inserted { .. }),
+        )
+    }
+
+    fn update_batch(&mut self, elements: &[(Key, Value)], up: fn(Value, Value) -> Value) -> usize {
+        // Same value-CAS fast path as the single-op `update` above.
+        count_batched(
+            elements,
+            UpdateOutcome::NotFound,
+            |chunk, out| {
+                self.table
+                    .update_batch_value_cas_unsynchronized(chunk, up, out)
+            },
+            |o| o == UpdateOutcome::Updated,
+        )
+    }
+
+    fn erase_batch(&mut self, keys: &[Key]) -> usize {
+        count_batched(
+            keys,
+            EraseOutcome::NotFound,
+            |chunk, out| self.table.erase_batch(chunk, out),
+            |o| o == EraseOutcome::Erased,
+        )
     }
 
     fn update_overwrite(&mut self, k: Key, d: Value) -> bool {
@@ -329,6 +390,26 @@ macro_rules! growing_variant {
                 } else {
                     InsertOrUpdate::Updated
                 }
+            }
+
+            fn find_batch(&mut self, keys: &[Key], out: &mut [Option<Value>]) {
+                self.handle.find_batch(keys, out);
+            }
+
+            fn insert_batch(&mut self, elements: &[(Key, Value)]) -> usize {
+                self.handle.insert_batch(elements)
+            }
+
+            fn update_batch(
+                &mut self,
+                elements: &[(Key, Value)],
+                up: fn(Value, Value) -> Value,
+            ) -> usize {
+                self.handle.update_batch(elements, up)
+            }
+
+            fn erase_batch(&mut self, keys: &[Key]) -> usize {
+                self.handle.erase_batch(keys)
             }
 
             fn size_estimate(&mut self) -> usize {

@@ -198,6 +198,70 @@ pub trait MapHandle {
         self.insert_or_update(k, d, |cur, add| cur.wrapping_add(add))
     }
 
+    // -----------------------------------------------------------------
+    // Batched operations (paper §5.5)
+    //
+    // The tables are memory-bound: a single `find`/`insert` pays one cold
+    // cache miss and stalls.  Processing a whole block of keys lets an
+    // implementation hash every key up front, prefetch every home cell,
+    // and only then run the probes — keeping many misses in flight per
+    // thread.  The defaults below are plain per-op loops so that every
+    // implementation keeps working unchanged; tables with a pipelined
+    // fast path override them.  Semantically a batch call must return
+    // EXACTLY what the per-op loop over the slice in order would return
+    // (including duplicate keys inside one batch).  The equivalence is
+    // about the batch's own results: while a table is migrating, distinct
+    // keys of one batch may linearize out of slice order relative to
+    // concurrent operations (an implementation may retry stragglers after
+    // later elements already completed).
+    // -----------------------------------------------------------------
+
+    /// Look up a whole batch of keys; `out[i]` receives the result of
+    /// `find(keys[i])`.  `keys` and `out` must have equal lengths.
+    fn find_batch(&mut self, keys: &[Key], out: &mut [Option<Value>]) {
+        assert_eq!(keys.len(), out.len(), "find_batch: length mismatch");
+        for (k, slot) in keys.iter().zip(out.iter_mut()) {
+            *slot = self.find(*k);
+        }
+    }
+
+    /// Insert a batch of `⟨k, v⟩` pairs in slice order; returns the number
+    /// of elements actually inserted (duplicates inside the batch count
+    /// once, exactly as the per-op loop would report).
+    fn insert_batch(&mut self, elements: &[(Key, Value)]) -> usize {
+        let mut inserted = 0;
+        for &(k, v) in elements {
+            if self.insert(k, v) {
+                inserted += 1;
+            }
+        }
+        inserted
+    }
+
+    /// Apply `update(k, d, up)` for every `⟨k, d⟩` pair in slice order;
+    /// returns the number of elements that were present and updated.
+    fn update_batch(&mut self, elements: &[(Key, Value)], up: fn(Value, Value) -> Value) -> usize {
+        let mut updated = 0;
+        for &(k, d) in elements {
+            if self.update(k, d, up) {
+                updated += 1;
+            }
+        }
+        updated
+    }
+
+    /// Erase a batch of keys in slice order; returns the number of elements
+    /// actually removed.
+    fn erase_batch(&mut self, keys: &[Key]) -> usize {
+        let mut erased = 0;
+        for &k in keys {
+            if self.erase(k) {
+                erased += 1;
+            }
+        }
+        erased
+    }
+
     /// Report a quiescent state / perform deferred maintenance.
     ///
     /// The benchmark driver calls this between work blocks.  QSBR-based
@@ -253,6 +317,84 @@ mod tests {
     fn insert_or_update_inspection() {
         assert!(InsertOrUpdate::Inserted.inserted());
         assert!(!InsertOrUpdate::Updated.inserted());
+    }
+
+    /// Minimal single-threaded `MapHandle` used to exercise the default
+    /// batch implementations.
+    struct VecHandle {
+        pairs: Vec<(Key, Value)>,
+    }
+
+    impl MapHandle for VecHandle {
+        fn insert(&mut self, k: Key, v: Value) -> bool {
+            if self.pairs.iter().any(|&(pk, _)| pk == k) {
+                return false;
+            }
+            self.pairs.push((k, v));
+            true
+        }
+        fn find(&mut self, k: Key) -> Option<Value> {
+            self.pairs.iter().find(|&&(pk, _)| pk == k).map(|&(_, v)| v)
+        }
+        fn update(&mut self, k: Key, d: Value, up: fn(Value, Value) -> Value) -> bool {
+            for pair in self.pairs.iter_mut() {
+                if pair.0 == k {
+                    pair.1 = up(pair.1, d);
+                    return true;
+                }
+            }
+            false
+        }
+        fn insert_or_update(
+            &mut self,
+            k: Key,
+            d: Value,
+            up: fn(Value, Value) -> Value,
+        ) -> InsertOrUpdate {
+            if self.update(k, d, up) {
+                InsertOrUpdate::Updated
+            } else {
+                self.insert(k, d);
+                InsertOrUpdate::Inserted
+            }
+        }
+        fn erase(&mut self, k: Key) -> bool {
+            let before = self.pairs.len();
+            self.pairs.retain(|&(pk, _)| pk != k);
+            self.pairs.len() != before
+        }
+    }
+
+    #[test]
+    fn default_batch_ops_equal_per_op_loop() {
+        let mut h = VecHandle { pairs: Vec::new() };
+        // Duplicate key 10 inside one batch: only the first insert wins.
+        let batch = [(10, 1), (11, 2), (10, 3), (12, 4)];
+        assert_eq!(h.insert_batch(&batch), 3);
+        assert_eq!(h.find(10), Some(1));
+
+        let mut out = [None; 5];
+        h.find_batch(&[10, 11, 12, 13, 10], &mut out);
+        assert_eq!(out, [Some(1), Some(2), Some(4), None, Some(1)]);
+
+        // Duplicate key inside one update batch: applied twice, in order.
+        assert_eq!(
+            h.update_batch(&[(10, 5), (13, 1), (10, 2)], |c, d| c + d),
+            2
+        );
+        assert_eq!(h.find(10), Some(8));
+
+        assert_eq!(h.erase_batch(&[10, 10, 13, 11]), 2);
+        assert_eq!(h.find(10), None);
+        assert_eq!(h.find(12), Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn find_batch_rejects_length_mismatch() {
+        let mut h = VecHandle { pairs: Vec::new() };
+        let mut out = [None; 2];
+        h.find_batch(&[1, 2, 3], &mut out);
     }
 
     #[test]

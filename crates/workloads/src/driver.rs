@@ -121,6 +121,144 @@ pub fn deletion_driver<M: ConcurrentMap>(
     })
 }
 
+/// Run `total` operations in batches of `batch` through `op`, which is
+/// called once per batch with the thread's handle, the half-open index
+/// range of the batch, and a per-thread scratch state built by `state`
+/// before the timed loop (e.g. a reusable result buffer — nothing needs
+/// to be allocated inside the measured region); `op`'s return value is
+/// accumulated into `aux`.
+///
+/// This is the batched twin of [`run_parallel`]: threads still pull blocks
+/// of 4096 operations from the shared scheduler (§8.3), but execute each
+/// block as `⌈4096/batch⌉` batch calls instead of 4096 single-op calls —
+/// the driver-side entry point of the hash → prefetch → probe pipeline.
+pub fn run_parallel_batched<M, S, F>(
+    table: &M,
+    threads: usize,
+    total: usize,
+    batch: usize,
+    state: impl Fn() -> S + Sync,
+    op: F,
+) -> Measurement
+where
+    M: ConcurrentMap,
+    F: Fn(&mut M::Handle<'_>, std::ops::Range<usize>, &mut S) -> u64 + Sync,
+{
+    assert!(threads > 0);
+    assert!(batch > 0);
+    let scheduler = BlockScheduler::new(total);
+    let aux_total = AtomicU64::new(0);
+    let op = &op;
+    let state = &state;
+    let scheduler = &scheduler;
+    let aux_ref = &aux_total;
+
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move || {
+                let mut handle = table.handle();
+                let mut scratch = state();
+                let mut aux = 0u64;
+                while let Some(range) = scheduler.next_block() {
+                    let mut lo = range.start;
+                    while lo < range.end {
+                        let hi = (lo + batch).min(range.end);
+                        aux = aux.wrapping_add(op(&mut handle, lo..hi, &mut scratch));
+                        lo = hi;
+                    }
+                    handle.quiesce();
+                }
+                aux_ref.fetch_add(aux, Ordering::Relaxed);
+            });
+        }
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    Measurement {
+        seconds,
+        ops: total,
+        aux: aux_total.load(Ordering::Relaxed),
+    }
+}
+
+/// Insert all `elements` through [`growt_iface::MapHandle::insert_batch`]
+/// in batches of `batch`; `aux` counts successful insertions.
+pub fn insert_batch_driver<M: ConcurrentMap>(
+    table: &M,
+    elements: &[(u64, u64)],
+    threads: usize,
+    batch: usize,
+) -> Measurement {
+    run_parallel_batched(
+        table,
+        threads,
+        elements.len(),
+        batch,
+        || (),
+        |h, range, _| h.insert_batch(&elements[range]) as u64,
+    )
+}
+
+/// Look up all `keys` through [`growt_iface::MapHandle::find_batch`] in
+/// batches of `batch`; `aux` counts hits.  The per-thread scratch is the
+/// reused result buffer.
+pub fn find_batch_driver<M: ConcurrentMap>(
+    table: &M,
+    keys: &[u64],
+    threads: usize,
+    batch: usize,
+) -> Measurement {
+    run_parallel_batched(
+        table,
+        threads,
+        keys.len(),
+        batch,
+        || vec![None; batch],
+        |h, range, out| {
+            let chunk = &keys[range];
+            let results = &mut out[..chunk.len()];
+            h.find_batch(chunk, results);
+            results.iter().filter(|r| r.is_some()).count() as u64
+        },
+    )
+}
+
+/// Update all `elements` through [`growt_iface::MapHandle::update_batch`]
+/// (wrapping-add updates) in batches of `batch`; `aux` counts keys found.
+pub fn update_batch_driver<M: ConcurrentMap>(
+    table: &M,
+    elements: &[(u64, u64)],
+    threads: usize,
+    batch: usize,
+) -> Measurement {
+    run_parallel_batched(
+        table,
+        threads,
+        elements.len(),
+        batch,
+        || (),
+        |h, range, _| h.update_batch(&elements[range], |cur, d| cur.wrapping_add(d)) as u64,
+    )
+}
+
+/// Erase all `keys` through [`growt_iface::MapHandle::erase_batch`] in
+/// batches of `batch`; `aux` counts successful deletions.
+pub fn erase_batch_driver<M: ConcurrentMap>(
+    table: &M,
+    keys: &[u64],
+    threads: usize,
+    batch: usize,
+) -> Measurement {
+    run_parallel_batched(
+        table,
+        threads,
+        keys.len(),
+        batch,
+        || (),
+        |h, range, _| h.erase_batch(&keys[range]) as u64,
+    )
+}
+
 /// Sequentially prefill `table` with `keys` (un-timed setup step used by
 /// the find/update/deletion benchmarks).
 pub fn prefill<M: ConcurrentMap>(table: &M, keys: &[u64]) {
@@ -265,6 +403,36 @@ mod tests {
         assert_eq!(m.aux as usize, wl.steps.len());
         let mut h = table.handle();
         assert_eq!(h.size_estimate(), 20_000);
+    }
+
+    #[test]
+    fn batch_drivers_match_per_op_drivers() {
+        let keys = crate::keys::uniform_distinct_keys(20_000, 9);
+        let pairs: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k)).collect();
+        for batch in [1usize, 7, 16, 64] {
+            let table = RefTable::with_capacity(keys.len());
+            let m = insert_batch_driver(&table, &pairs, 4, batch);
+            assert_eq!(m.aux as usize, keys.len(), "batch {batch}");
+            let m = find_batch_driver(&table, &keys, 4, batch);
+            assert_eq!(m.aux as usize, keys.len(), "batch {batch}");
+            let m = update_batch_driver(&table, &pairs, 4, batch);
+            assert_eq!(m.aux as usize, keys.len(), "batch {batch}");
+            let m = erase_batch_driver(&table, &keys, 4, batch);
+            assert_eq!(m.aux as usize, keys.len(), "batch {batch}");
+            let mut h = table.handle();
+            assert_eq!(h.size_estimate(), 0, "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn batch_driver_handles_total_not_divisible_by_batch() {
+        let keys = crate::keys::uniform_distinct_keys(10_001, 11);
+        let pairs: Vec<(u64, u64)> = keys.iter().map(|&k| (k, 1)).collect();
+        let table = RefTable::with_capacity(keys.len());
+        let m = insert_batch_driver(&table, &pairs, 2, 64);
+        assert_eq!(m.aux as usize, keys.len());
+        let m = find_batch_driver(&table, &keys, 2, 64);
+        assert_eq!(m.aux as usize, keys.len());
     }
 
     #[test]

@@ -26,8 +26,9 @@ pub mod stats;
 pub mod zipf;
 
 pub use driver::{
-    aggregate_driver, deletion_driver, find_driver, insert_driver, mixed_driver, prefill,
-    run_parallel, update_driver,
+    aggregate_driver, deletion_driver, erase_batch_driver, find_batch_driver, find_driver,
+    insert_batch_driver, insert_driver, mixed_driver, prefill, run_parallel, run_parallel_batched,
+    update_batch_driver, update_driver,
 };
 pub use hash::{crc64_pair, mix64, HashKind};
 pub use keys::{

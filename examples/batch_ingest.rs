@@ -1,0 +1,81 @@
+//! Batch ingestion: the batched hot-path API (`insert_batch` /
+//! `find_batch`) end to end through the facade crate.
+//!
+//! The tables are memory-bound — a single `find` or `insert` pays one cold
+//! cache miss.  The batch API hashes a whole block of keys up front,
+//! prefetches every home cell, and only then runs the probes, keeping many
+//! misses in flight per thread (DESIGN.md, "Batched hot paths").  This
+//! example ingests a keyed event stream in batches into a growing table
+//! and then audits it with batched lookups, comparing the wall-clock time
+//! against the per-op loop.
+//!
+//! Run with: `cargo run --release --example batch_ingest`
+
+use std::time::Instant;
+
+use growt_repro::prelude::*;
+
+const EVENTS: u64 = 1_000_000;
+const BATCH: usize = 32;
+
+fn main() {
+    // Deterministic "event stream": key = event source, value = payload.
+    let events: Vec<(u64, u64)> = (0..EVENTS).map(|i| (2 + i, i * 10)).collect();
+    let keys: Vec<u64> = events.iter().map(|&(k, _)| k).collect();
+
+    // --- Batched ingestion into the default growing table (uaGrow). ----
+    let table = UaGrow::with_capacity(4096); // initial size hint only
+    let mut handle = table.handle();
+    let start = Instant::now();
+    let mut inserted = 0;
+    for chunk in events.chunks(BATCH) {
+        inserted += handle.insert_batch(chunk);
+    }
+    let batch_ingest = start.elapsed();
+    println!(
+        "insert_batch:  {inserted} events in {batch_ingest:?} ({:.1} Mops/s)",
+        inserted as f64 / batch_ingest.as_secs_f64() / 1e6
+    );
+
+    // --- Batched audit: every event must be present. -------------------
+    let mut out = vec![None; BATCH];
+    let start = Instant::now();
+    let mut hits = 0usize;
+    for chunk in keys.chunks(BATCH) {
+        let results = &mut out[..chunk.len()];
+        handle.find_batch(chunk, results);
+        hits += results.iter().filter(|r| r.is_some()).count();
+    }
+    let batch_audit = start.elapsed();
+    println!(
+        "find_batch:    {hits} hits in {batch_audit:?} ({:.1} Mops/s)",
+        hits as f64 / batch_audit.as_secs_f64() / 1e6
+    );
+    assert_eq!(hits as u64, EVENTS);
+
+    // --- The same audit with the per-op loop, for comparison. ----------
+    let start = Instant::now();
+    let mut per_op_hits = 0u64;
+    for &k in &keys {
+        if handle.find(k).is_some() {
+            per_op_hits += 1;
+        }
+    }
+    let per_op_audit = start.elapsed();
+    println!(
+        "per-op find:   {per_op_hits} hits in {per_op_audit:?} ({:.1} Mops/s)",
+        per_op_hits as f64 / per_op_audit.as_secs_f64() / 1e6
+    );
+    assert_eq!(per_op_hits, EVENTS);
+    println!(
+        "batched audit speedup over the per-op loop: {:.2}x",
+        per_op_audit.as_secs_f64() / batch_audit.as_secs_f64()
+    );
+
+    // Batches compose with the rest of the interface: spot-check a value
+    // and clean up a key range with erase_batch.
+    assert_eq!(handle.find(2 + 7), Some(70));
+    let removed = handle.erase_batch(&keys[..1000]);
+    println!("erase_batch:   removed the first {removed} events");
+    assert_eq!(removed, 1000);
+}

@@ -52,10 +52,11 @@ pub mod prelude {
     pub use growt_core::{
         Folklore, GrowingOptions, GrowingTable, PaGrow, PsGrow, TsxFolklore, UaGrow, UsGrow,
     };
-    pub use growt_iface::{Capabilities, ConcurrentMap, InsertOrUpdate, MapHandle};
+    pub use growt_iface::{Capabilities, ConcurrentMap, GrowthSupport, InsertOrUpdate, MapHandle};
     pub use growt_seq::{SeqGrowingTable, SeqTable};
     pub use growt_workloads::{
-        aggregate_driver, deletion_driver, find_driver, insert_driver, mixed_driver, prefill,
-        uniform_distinct_keys, zipf_keys, Mt64, ZipfSampler,
+        aggregate_driver, deletion_driver, erase_batch_driver, find_batch_driver, find_driver,
+        insert_batch_driver, insert_driver, mixed_driver, prefill, uniform_distinct_keys,
+        update_batch_driver, zipf_keys, Mt64, ZipfSampler,
     };
 }

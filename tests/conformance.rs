@@ -8,7 +8,11 @@
 //! * a single-threaded insert/find/update/upsert/erase round-trip,
 //! * a multi-threaded distinct-key insert + find smoke test,
 //! * for tables advertising atomic updates (Table 1), a concurrent
-//!   insert-or-increment atomicity check.
+//!   insert-or-increment atomicity check,
+//! * a batch-semantics suite: every `*_batch` operation must produce
+//!   exactly the results of the per-op loop (including duplicate keys
+//!   inside one batch), and batches racing a live migration must neither
+//!   lose nor duplicate elements.
 //!
 //! Capability flags steer the variations: sequential reference tables run
 //! the concurrent sections with one thread, and the atomicity check only
@@ -164,6 +168,131 @@ fn concurrent_increment_atomicity<M: ConcurrentMap>() {
     );
 }
 
+/// Batch calls must be observably identical to the per-op loop: drive one
+/// table with the batch API and a twin with single operations, comparing
+/// every return value and the final contents — with duplicate keys inside
+/// one batch, absent keys, and uneven batch lengths.
+fn batch_matches_per_op<M: ConcurrentMap>() {
+    let batched = M::with_capacity(4096);
+    let looped = M::with_capacity(4096);
+    let mut hb = batched.handle();
+    let mut hl = looped.handle();
+    let name = M::table_name();
+
+    // 600 distinct keys, 300 of them repeated inside the same batch with a
+    // different value: only the first occurrence of a key may insert.
+    let mut elems: Vec<(u64, u64)> = (0..600u64).map(|i| (BASE + i, i + 1)).collect();
+    elems.extend((0..300u64).map(|i| (BASE + 2 * i, 7_000 + i)));
+    let by_batch = hb.insert_batch(&elems);
+    let mut by_loop = 0;
+    for &(k, v) in &elems {
+        if hl.insert(k, v) {
+            by_loop += 1;
+        }
+    }
+    assert_eq!(by_batch, by_loop, "{name}: insert_batch count");
+
+    // Lookups over present and absent keys.
+    let keys: Vec<u64> = (0..700u64).map(|i| BASE + i).collect();
+    let mut out = vec![None; keys.len()];
+    hb.find_batch(&keys, &mut out);
+    for (&k, &f) in keys.iter().zip(out.iter()) {
+        assert_eq!(f, hl.find(k), "{name}: find_batch({k})");
+    }
+
+    // Updates, with keys repeated inside the batch (applied in order) and
+    // absent keys interleaved.
+    let mut updates: Vec<(u64, u64)> = (0..650u64).map(|i| (BASE + i, 10)).collect();
+    updates.extend((0..100u64).map(|i| (BASE + 3 * i, 1)));
+    let ub = hb.update_batch(&updates, |c, d| c.wrapping_add(d));
+    let mut ul = 0;
+    for &(k, d) in &updates {
+        if hl.update(k, d, |c, d| c.wrapping_add(d)) {
+            ul += 1;
+        }
+    }
+    assert_eq!(ub, ul, "{name}: update_batch count");
+
+    // Deletions, with duplicates (second occurrence finds nothing) and
+    // absent keys.
+    let mut erase: Vec<u64> = (0..400u64).map(|i| BASE + i).collect();
+    erase.extend((0..100u64).map(|i| BASE + i));
+    erase.extend((0..50u64).map(|i| BASE + 5_000 + i));
+    let eb = hb.erase_batch(&erase);
+    let mut el = 0;
+    for &k in &erase {
+        if hl.erase(k) {
+            el += 1;
+        }
+    }
+    assert_eq!(eb, el, "{name}: erase_batch count");
+
+    // Final contents must coincide.
+    let mut out = vec![None; keys.len()];
+    hb.find_batch(&keys, &mut out);
+    for (&k, &f) in keys.iter().zip(out.iter()) {
+        assert_eq!(f, hl.find(k), "{name}: final contents at {k}");
+    }
+    hb.quiesce();
+    hl.quiesce();
+}
+
+/// Concurrent batches racing live migrations: growing tables start tiny so
+/// the batched inserts trigger (and re-batch across) several migrations;
+/// non-growing tables still exercise concurrent batch execution.  Nothing
+/// may be lost or duplicated, and `find_batch` must see every element.
+fn batches_race_migration<M: ConcurrentMap>() {
+    let threads = concurrency_for::<M>(4);
+    let per_thread = 5_000u64;
+    let total = per_thread * threads as u64;
+    let capacity = if M::capabilities().growing == GrowthSupport::Full {
+        64
+    } else {
+        total as usize
+    };
+    let table = M::with_capacity(capacity);
+    let name = M::table_name();
+
+    std::thread::scope(|scope| {
+        for t in 0..threads as u64 {
+            let table = &table;
+            scope.spawn(move || {
+                let mut h = table.handle();
+                let elems: Vec<(u64, u64)> = (0..per_thread)
+                    .map(|i| {
+                        let k = BASE + t * per_thread + i;
+                        (k, k)
+                    })
+                    .collect();
+                let mut inserted = 0;
+                // 37 is deliberately coprime to the pipeline width so the
+                // batches land unaligned.
+                for chunk in elems.chunks(37) {
+                    inserted += h.insert_batch(chunk);
+                    h.quiesce();
+                }
+                assert_eq!(inserted, per_thread as usize, "{name}: lost batch inserts");
+            });
+        }
+    });
+
+    std::thread::scope(|scope| {
+        for t in 0..threads as u64 {
+            let table = &table;
+            scope.spawn(move || {
+                let mut h = table.handle();
+                let keys: Vec<u64> = (0..per_thread).map(|i| BASE + t * per_thread + i).collect();
+                let mut out = vec![None; keys.len()];
+                h.find_batch(&keys, &mut out);
+                for (&k, &f) in keys.iter().zip(out.iter()) {
+                    assert_eq!(f, Some(k), "{name}: find_batch({k}) after race");
+                }
+                h.quiesce();
+            });
+        }
+    });
+}
+
 macro_rules! conformance {
     ($($module:ident => $table:ty),+ $(,)?) => {
         $(
@@ -183,6 +312,16 @@ macro_rules! conformance {
                 #[test]
                 fn concurrent_increment_atomicity() {
                     super::concurrent_increment_atomicity::<$table>();
+                }
+
+                #[test]
+                fn batch_matches_per_op() {
+                    super::batch_matches_per_op::<$table>();
+                }
+
+                #[test]
+                fn batches_race_migration() {
+                    super::batches_race_migration::<$table>();
                 }
             }
         )+
