@@ -9,10 +9,13 @@
 //! `<id>` is one of: `table1`, `fig2a`, `fig2b`, `fig3a`, `fig3b`, `fig4a`,
 //! `fig4b`, `fig5a`, `fig5b`, `fig6`, `fig7a`, `fig7b`, `fig8a`, `fig8b`,
 //! `fig9a`, `fig9b`, `fig10`, `fig11a`, `fig11b`, `ablation_block`,
-//! `ablation_batch`, or `all`.  Output is TSV on stdout (one block per
-//! figure).  With `--json`, `ablation_batch` additionally writes the
-//! machine-readable perf-trajectory record `BENCH_hotpath.json` (schema
-//! `growt-bench/hotpath-v1`) into the current directory.
+//! `ablation_batch`, `scaling`, or `all`.  Output is TSV on stdout (one
+//! block per figure).  With `--json`, `ablation_batch` and `scaling`
+//! additionally merge their results into the machine-readable
+//! perf-trajectory record `BENCH_hotpath.json` (schema
+//! `growt-bench/hotpath-v2`) in the current directory: the file
+//! accumulates one entry per figure key across runs (and upgrades legacy
+//! v1 files in place) instead of being overwritten.
 
 use growt_bench::*;
 
@@ -76,6 +79,15 @@ fn parse_args() -> (Vec<String>, HarnessConfig) {
     (ids, cfg)
 }
 
+/// Merge one figure block into `BENCH_hotpath.json` in the current
+/// directory (creating or upgrading the file as needed).
+fn write_hotpath_json(figure: &str, block: &str, points: usize) {
+    let existing = std::fs::read_to_string("BENCH_hotpath.json").ok();
+    let merged = merge_hotpath_json(existing.as_deref(), figure, block);
+    std::fs::write("BENCH_hotpath.json", merged).expect("failed to write BENCH_hotpath.json");
+    eprintln!("[figure] merged {figure} into BENCH_hotpath.json ({points} points)");
+}
+
 fn run(id: &str, cfg: &HarnessConfig) {
     eprintln!(
         "[figure] running {id} (ops = {}, threads = {:?})",
@@ -105,15 +117,18 @@ fn run(id: &str, cfg: &HarnessConfig) {
         "ablation_batch" => {
             let points = ablation_batch_points(cfg);
             if cfg.json {
-                let json = batch_points_to_json(cfg, &points);
-                std::fs::write("BENCH_hotpath.json", &json)
-                    .expect("failed to write BENCH_hotpath.json");
-                eprintln!(
-                    "[figure] wrote BENCH_hotpath.json ({} points)",
-                    points.len()
-                );
+                let block = batch_points_block(cfg, &points);
+                write_hotpath_json("ablation_batch", &block, points.len());
             }
             batch_points_figure(&points).to_tsv()
+        }
+        "scaling" => {
+            let points = scaling_points(cfg);
+            if cfg.json {
+                let block = scaling_points_block(cfg, &points);
+                write_hotpath_json("scaling", &block, points.len());
+            }
+            scaling_figure(&points).to_tsv()
         }
         other => panic!("unknown figure id {other}"),
     };
@@ -144,6 +159,7 @@ fn main() {
         "fig11b",
         "ablation_block",
         "ablation_batch",
+        "scaling",
     ];
     for id in &ids {
         if id == "all" {

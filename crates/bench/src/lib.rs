@@ -18,7 +18,7 @@ use growt_baselines::{
     RcuQsbrTable, RcuTable, TbbHashMap, TbbUnorderedMap,
 };
 use growt_core::variants::{UaGrowTsx, UsGrowTsx};
-use growt_core::{Folklore, PaGrow, PsGrow, TsxFolklore, UaGrow, UsGrow};
+use growt_core::{Folklore, FolkloreCrc, PaGrow, PsGrow, TsxFolklore, UaGrow, UaGrowCrc, UsGrow};
 use growt_iface::{capability_row, Capabilities, ConcurrentMap};
 use growt_seq::{SeqGrowingTable, SeqTable};
 use growt_workloads::{
@@ -673,16 +673,24 @@ pub struct BatchPoint {
     pub mops: f64,
 }
 
-fn batch_points_for<M: ConcurrentMap>(cfg: &HarnessConfig, points: &mut Vec<BatchPoint>) {
+/// Shared insert/find sweep skeleton of `ablation_batch` and `scaling`:
+/// for every (threads, K) combination measure insertions into a fresh
+/// pre-sized table and finds on one shared prefilled table (the find
+/// sweep is read-only, so one table serves every combination); K = 1 runs
+/// the true per-op drivers, K > 1 the batch drivers.  Each measurement is
+/// reported through `record(op, threads, batch, mean_mops)`.
+fn insert_find_sweep<M: ConcurrentMap>(
+    cfg: &HarnessConfig,
+    batch_sizes: &[usize],
+    mut record: impl FnMut(&'static str, usize, usize, f64),
+) {
     let keys = uniform_distinct_keys(cfg.ops, 1000);
     let pairs: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k)).collect();
-    // The find sweep is read-only, so one prefilled table serves every
-    // (threads, K) combination.
     let find_table = M::with_capacity(cfg.ops);
     prefill_for::<M>(&find_table, &keys);
     for &p in &cfg.threads {
         let p_eff = effective_threads::<M>(p);
-        for &k in &BATCH_SIZES {
+        for &k in batch_sizes {
             let mut reps = Repetitions::new();
             for _ in 0..cfg.reps {
                 let table = M::with_capacity(cfg.ops);
@@ -692,13 +700,7 @@ fn batch_points_for<M: ConcurrentMap>(cfg: &HarnessConfig, points: &mut Vec<Batc
                     insert_batch_driver(&table, &pairs, p_eff, k)
                 });
             }
-            points.push(BatchPoint {
-                table: M::table_name(),
-                op: "insert",
-                threads: p,
-                batch: k,
-                mops: reps.mean_mops(),
-            });
+            record("insert", p, k, reps.mean_mops());
 
             let mut reps = Repetitions::new();
             for _ in 0..cfg.reps {
@@ -708,15 +710,21 @@ fn batch_points_for<M: ConcurrentMap>(cfg: &HarnessConfig, points: &mut Vec<Batc
                     find_batch_driver(&find_table, &keys, p_eff, k)
                 });
             }
-            points.push(BatchPoint {
-                table: M::table_name(),
-                op: "find",
-                threads: p,
-                batch: k,
-                mops: reps.mean_mops(),
-            });
+            record("find", p, k, reps.mean_mops());
         }
     }
+}
+
+fn batch_points_for<M: ConcurrentMap>(cfg: &HarnessConfig, points: &mut Vec<BatchPoint>) {
+    insert_find_sweep::<M>(cfg, &BATCH_SIZES, |op, threads, batch, mops| {
+        points.push(BatchPoint {
+            table: M::table_name(),
+            op,
+            threads,
+            batch,
+            mops,
+        });
+    });
 }
 
 /// Ablation: batched hot paths (hash → prefetch → probe, DESIGN.md).
@@ -749,39 +757,294 @@ pub fn batch_points_figure(points: &[BatchPoint]) -> Figure {
     fig
 }
 
-/// Serialize a batch sweep as the `BENCH_hotpath.json` perf-trajectory
-/// record.
+// ---------------------------------------------------------------------------
+// Thread-scaling figure (`scaling`): per-op vs. batched hot paths after the
+// zero-shared-traffic handle prologue, on both hash paths.
+// ---------------------------------------------------------------------------
+
+/// Batch size used by the batched series of the `scaling` figure (the
+/// pipeline width, the sweet spot of the `ablation_batch` sweep).
+pub const SCALING_BATCH: usize = 16;
+
+/// One measured point of the thread-scaling sweep (`scaling`).
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Base table name ("folklore" or "uaGrow"); the hash path is recorded
+    /// separately in `hash`.
+    pub table: &'static str,
+    /// Operation: "insert" or "find".
+    pub op: &'static str,
+    /// Hash path: "mix" (splitmix64 finalizer) or "crc" (two-seed CRC32-C,
+    /// hardware `crc32q` where available).
+    pub hash: &'static str,
+    /// Number of driver threads.
+    pub threads: usize,
+    /// Batch size K (1 = per-op loop, [`SCALING_BATCH`] = pipelined).
+    pub batch: usize,
+    /// Mean throughput over the repetitions, in MOps/s.
+    pub mops: f64,
+}
+
+fn scaling_points_for<M: ConcurrentMap>(
+    cfg: &HarnessConfig,
+    table: &'static str,
+    hash: &'static str,
+    points: &mut Vec<ScalingPoint>,
+) {
+    insert_find_sweep::<M>(cfg, &[1, SCALING_BATCH], |op, threads, batch, mops| {
+        points.push(ScalingPoint {
+            table,
+            op,
+            hash,
+            threads,
+            batch,
+            mops,
+        });
+    });
+}
+
+/// The thread-scaling sweep: insertions into and finds on a pre-sized
+/// table for the folklore table and the default growing variant, per-op
+/// (K = 1) and pipelined (K = [`SCALING_BATCH`]), on both hash paths
+/// (splitmix64 and the paper's CRC32-C pair), across the configured thread
+/// grid.  This is the trajectory record for the zero-shared-traffic handle
+/// prologue: per-op throughput must now move with the thread count.
+pub fn scaling_points(cfg: &HarnessConfig) -> Vec<ScalingPoint> {
+    let mut points = Vec::new();
+    scaling_points_for::<Folklore>(cfg, "folklore", "mix", &mut points);
+    scaling_points_for::<FolkloreCrc>(cfg, "folklore", "crc", &mut points);
+    scaling_points_for::<UaGrow>(cfg, "uaGrow", "mix", &mut points);
+    scaling_points_for::<UaGrowCrc>(cfg, "uaGrow", "crc", &mut points);
+    points
+}
+
+/// Render the scaling sweep as a [`Figure`] (x axis = threads, one series
+/// per table × operation × hash × batch size).
+pub fn scaling_figure(points: &[ScalingPoint]) -> Figure {
+    let mut fig = Figure::new("scaling-hot-paths", "threads");
+    for point in points {
+        let label = format!(
+            "{} {} {} K={}",
+            point.table, point.op, point.hash, point.batch
+        );
+        match fig.series.iter_mut().find(|s| s.label == label) {
+            Some(series) => series.push(point.threads as f64, point.mops),
+            None => {
+                let mut series = Series::new(label);
+                series.push(point.threads as f64, point.mops);
+                fig.push(series);
+            }
+        }
+    }
+    fig
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_hotpath.json: the accumulated perf-trajectory record
+// ---------------------------------------------------------------------------
+
+/// Assemble one figure block of the `BENCH_hotpath.json` record from
+/// pre-rendered result rows.
+fn figure_block_json(figure: &str, cfg: &HarnessConfig, rows: &[String]) -> String {
+    let mut out = String::from("    {\n");
+    out.push_str(&format!("      \"figure\": \"{figure}\",\n"));
+    out.push_str(&format!("      \"ops\": {},\n", cfg.ops));
+    out.push_str(&format!("      \"reps\": {},\n", cfg.reps));
+    out.push_str("      \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!("        {row}{comma}\n"));
+    }
+    out.push_str("      ]\n    }");
+    out
+}
+
+/// Serialize a batch sweep as one figure block for
+/// [`merge_hotpath_json`] (key `ablation_batch`).
+pub fn batch_points_block(cfg: &HarnessConfig, points: &[BatchPoint]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"table\": \"{}\", \"op\": \"{}\", \"threads\": {}, \"batch\": {}, \"mops\": {:.3}}}",
+                p.table, p.op, p.threads, p.batch, p.mops
+            )
+        })
+        .collect();
+    figure_block_json("ablation_batch", cfg, &rows)
+}
+
+/// Serialize a scaling sweep as one figure block for
+/// [`merge_hotpath_json`] (key `scaling`).
+pub fn scaling_points_block(cfg: &HarnessConfig, points: &[ScalingPoint]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"table\": \"{}\", \"op\": \"{}\", \"hash\": \"{}\", \"threads\": {}, \"batch\": {}, \"mops\": {:.3}}}",
+                p.table, p.op, p.hash, p.threads, p.batch, p.mops
+            )
+        })
+        .collect();
+    figure_block_json("scaling", cfg, &rows)
+}
+
+/// Find the index of the bracket matching `s[open]` (which must be `{` or
+/// `[`), skipping over string literals.  Returns `None` on malformed input.
+fn matching_bracket(s: &str, open: usize) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let (open_ch, close_ch) = match bytes[open] {
+        b'{' => (b'{', b'}'),
+        b'[' => (b'[', b']'),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            _ if b == open_ch => depth += 1,
+            _ if b == close_ch => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Extract the string value of `"key": "value"` after `from` (best-effort
+/// scan over the JSON formats this harness itself emits).
+fn json_string_value(s: &str, key: &str, from: usize) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let at = s[from..].find(&pat)? + from + pat.len();
+    let rest = &s[at..];
+    let q1 = rest.find('"')?;
+    let q2 = rest[q1 + 1..].find('"')? + q1 + 1;
+    Some(rest[q1 + 1..q2].to_string())
+}
+
+/// Split a `BENCH_hotpath.json` document into `(figure_key, block_text)`
+/// pairs.  Understands both the current container format (`"figures": [...]`)
+/// — which may legitimately hold zero blocks — and the legacy single-figure
+/// v1 format (top-level `"figure"` key), which is converted into one
+/// equivalent block.  Returns `None` when the document matches neither
+/// format (the caller must then refuse to overwrite it).
+fn extract_figure_blocks(existing: &str) -> Option<Vec<(String, String)>> {
+    if let Some(arr_key) = existing.find("\"figures\":") {
+        let open = existing[arr_key..].find('[').map(|i| i + arr_key)?;
+        let close = matching_bracket(existing, open)?;
+        let mut blocks = Vec::new();
+        let mut at = open + 1;
+        while at < close {
+            let Some(obj_open) = existing[at..close].find('{').map(|i| i + at) else {
+                break; // no further object: a (possibly empty) valid array
+            };
+            let obj_close = matching_bracket(existing, obj_open)?;
+            let block = existing[obj_open..=obj_close].to_string();
+            let key = json_string_value(&block, "figure", 0).unwrap_or_default();
+            blocks.push((key, format!("    {}", block.trim_start())));
+            at = obj_close + 1;
+        }
+        Some(blocks)
+    } else if let Some(key) = json_string_value(existing, "figure", 0) {
+        // Legacy v1: one flat record.  Rebuild an equivalent block from its
+        // fields (schema/unit move to the container).
+        let ops = json_number_value(existing, "ops").unwrap_or_default();
+        let reps = json_number_value(existing, "reps").unwrap_or_default();
+        let results = existing
+            .find("\"results\":")
+            .and_then(|k| existing[k..].find('[').map(|i| i + k))
+            .and_then(|open| matching_bracket(existing, open).map(|close| (open, close)))
+            .map(|(open, close)| existing[open..=close].to_string())
+            .unwrap_or_else(|| "[]".to_string());
+        let block = format!(
+            "    {{\n      \"figure\": \"{key}\",\n      \"ops\": {ops},\n      \"reps\": {reps},\n      \"results\": {results}\n    }}",
+        );
+        Some(vec![(key, block)])
+    } else {
+        None
+    }
+}
+
+/// Extract the raw text of `"key": <number>`.
+fn json_number_value(s: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let at = s.find(&pat)? + pat.len();
+    let rest = s[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    (end > 0).then(|| rest[..end].to_string())
+}
+
+/// Merge one figure `block` (from [`batch_points_block`] or
+/// [`scaling_points_block`]) into an existing `BENCH_hotpath.json`
+/// document, **replacing** the block with the same figure key and keeping
+/// every other figure — the perf trajectory accumulates one entry per
+/// figure across PRs instead of being overwritten.
 ///
-/// Schema (`growt-bench/hotpath-v1`): a flat list of measured points so
-/// future PRs can diff throughput per `(table, op, threads, batch)`
-/// without parsing TSV —
+/// Output schema (`growt-bench/hotpath-v2`):
 ///
 /// ```json
 /// {
-///   "schema": "growt-bench/hotpath-v1",
-///   "figure": "ablation_batch",
-///   "ops": 1000000,
-///   "reps": 1,
+///   "schema": "growt-bench/hotpath-v2",
 ///   "unit": "mops",
-///   "results": [
-///     {"table": "folklore", "op": "find", "threads": 4, "batch": 16, "mops": 12.345}
+///   "figures": [
+///     {"figure": "ablation_batch", "ops": 1000000, "reps": 1, "results": [...]},
+///     {"figure": "scaling", "ops": 1000000, "reps": 1, "results": [...]}
 ///   ]
 /// }
 /// ```
-pub fn batch_points_to_json(cfg: &HarnessConfig, points: &[BatchPoint]) -> String {
+///
+/// A legacy v1 document (single flat figure) is upgraded in place: its
+/// record becomes the first entry of the `figures` array, so no measured
+/// point is ever dropped by a later run.
+///
+/// # Panics
+///
+/// If `existing` holds non-empty content in neither the v2 container nor
+/// the legacy v1 format (truncated or hand-mangled JSON), the function
+/// refuses to proceed rather than silently rewriting the file with only
+/// the new figure — overwriting would destroy the recorded perf
+/// trajectory the merge contract promises to preserve.  A well-formed
+/// container with an *empty* `figures` array is fine.
+pub fn merge_hotpath_json(existing: Option<&str>, figure: &str, block: &str) -> String {
+    let existing = existing.filter(|text| !text.trim().is_empty());
+    let mut blocks = match existing {
+        Some(text) => extract_figure_blocks(text).expect(
+            "existing BENCH_hotpath.json content could not be parsed; refusing to \
+             overwrite the recorded perf trajectory (fix or remove the file first)",
+        ),
+        None => Vec::new(),
+    };
+    match blocks.iter_mut().find(|(key, _)| key == figure) {
+        Some((_, existing_block)) => *existing_block = block.to_string(),
+        None => blocks.push((figure.to_string(), block.to_string())),
+    }
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"growt-bench/hotpath-v1\",\n");
-    out.push_str("  \"figure\": \"ablation_batch\",\n");
-    out.push_str(&format!("  \"ops\": {},\n", cfg.ops));
-    out.push_str(&format!("  \"reps\": {},\n", cfg.reps));
+    out.push_str("  \"schema\": \"growt-bench/hotpath-v2\",\n");
     out.push_str("  \"unit\": \"mops\",\n");
-    out.push_str("  \"results\": [\n");
-    for (i, p) in points.iter().enumerate() {
-        let comma = if i + 1 == points.len() { "" } else { "," };
-        out.push_str(&format!(
-            "    {{\"table\": \"{}\", \"op\": \"{}\", \"threads\": {}, \"batch\": {}, \"mops\": {:.3}}}{comma}\n",
-            p.table, p.op, p.threads, p.batch, p.mops
-        ));
+    out.push_str("  \"figures\": [\n");
+    for (i, (_, b)) in blocks.iter().enumerate() {
+        let comma = if i + 1 == blocks.len() { "" } else { "," };
+        out.push_str(b);
+        out.push_str(comma);
+        out.push('\n');
     }
     out.push_str("  ]\n}\n");
     out
@@ -909,13 +1172,160 @@ mod tests {
             .iter()
             .all(|s| s.points.len() == BATCH_SIZES.len()));
         assert!(fig.to_tsv().contains("folklore find p=2"));
-        let json = batch_points_to_json(&cfg, &points);
-        assert!(json.contains("\"schema\": \"growt-bench/hotpath-v1\""));
+        let json = merge_hotpath_json(None, "ablation_batch", &batch_points_block(&cfg, &points));
+        assert!(json.contains("\"schema\": \"growt-bench/hotpath-v2\""));
+        assert!(json.contains("\"figure\": \"ablation_batch\""));
         assert!(json.contains("\"table\": \"uaGrow\""));
         // Crude structural validity: balanced braces/brackets, one result
         // object per point.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches("{\"table\"").count(), points.len());
+    }
+
+    #[test]
+    fn smoke_scaling_points_and_figure() {
+        let mut cfg = smoke_config();
+        cfg.ops = 10_000;
+        let points = scaling_points(&cfg);
+        // 2 tables × 2 hashes × 2 ops × |threads| × 2 batch sizes.
+        assert_eq!(points.len(), 2 * 2 * 2 * cfg.threads.len() * 2);
+        assert!(points.iter().all(|p| p.mops > 0.0));
+        for hash in ["mix", "crc"] {
+            for table in ["folklore", "uaGrow"] {
+                assert!(
+                    points.iter().any(|p| p.hash == hash && p.table == table),
+                    "missing {table}/{hash} series"
+                );
+            }
+        }
+        let fig = scaling_figure(&points);
+        assert_eq!(fig.series.len(), 2 * 2 * 2 * 2);
+        assert!(fig
+            .series
+            .iter()
+            .all(|s| s.points.len() == cfg.threads.len()));
+        assert!(fig.to_tsv().contains("folklore find crc K=16"));
+        let json = merge_hotpath_json(None, "scaling", &scaling_points_block(&cfg, &points));
+        assert!(json.contains("\"hash\": \"crc\""));
+        assert_eq!(json.matches("{\"table\"").count(), points.len());
+    }
+
+    #[test]
+    fn hotpath_json_merges_by_figure_key() {
+        let cfg = smoke_config();
+        let batch = BatchPoint {
+            table: "folklore",
+            op: "find",
+            threads: 2,
+            batch: 16,
+            mops: 12.5,
+        };
+        let scaling = ScalingPoint {
+            table: "uaGrow",
+            op: "insert",
+            hash: "crc",
+            threads: 4,
+            batch: 1,
+            mops: 9.25,
+        };
+        // Fresh file, then append a second figure: both survive.
+        let v2 = merge_hotpath_json(
+            None,
+            "ablation_batch",
+            &batch_points_block(&cfg, std::slice::from_ref(&batch)),
+        );
+        let merged = merge_hotpath_json(
+            Some(&v2),
+            "scaling",
+            &scaling_points_block(&cfg, std::slice::from_ref(&scaling)),
+        );
+        assert!(merged.contains("\"figure\": \"ablation_batch\""));
+        assert!(merged.contains("\"figure\": \"scaling\""));
+        assert!(merged.contains("\"mops\": 12.500"));
+        assert!(merged.contains("\"mops\": 9.250"));
+        assert_eq!(merged.matches('{').count(), merged.matches('}').count());
+        assert_eq!(merged.matches('[').count(), merged.matches(']').count());
+
+        // Re-running a figure replaces its block instead of duplicating it.
+        let mut faster = batch.clone();
+        faster.mops = 14.0;
+        let rerun = merge_hotpath_json(
+            Some(&merged),
+            "ablation_batch",
+            &batch_points_block(&cfg, &[faster]),
+        );
+        assert_eq!(rerun.matches("\"figure\": \"ablation_batch\"").count(), 1);
+        assert!(rerun.contains("\"mops\": 14.000"));
+        assert!(!rerun.contains("\"mops\": 12.500"));
+        assert!(rerun.contains("\"mops\": 9.250"), "other figure dropped");
+
+        // A legacy v1 document is upgraded without losing its points.
+        let v1 = format!(
+            "{{\n  \"schema\": \"growt-bench/hotpath-v1\",\n  \"figure\": \"ablation_batch\",\n  \"ops\": {},\n  \"reps\": 1,\n  \"unit\": \"mops\",\n  \"results\": [\n    {{\"table\": \"folklore\", \"op\": \"find\", \"threads\": 8, \"batch\": 1, \"mops\": 25.551}}\n  ]\n}}\n",
+            cfg.ops
+        );
+        let upgraded = merge_hotpath_json(
+            Some(&v1),
+            "scaling",
+            &scaling_points_block(&cfg, &[scaling]),
+        );
+        assert!(upgraded.contains("\"schema\": \"growt-bench/hotpath-v2\""));
+        assert!(upgraded.contains("\"mops\": 25.551"), "v1 point lost");
+        assert!(upgraded.contains("\"figure\": \"scaling\""));
+        assert_eq!(upgraded.matches('{').count(), upgraded.matches('}').count());
+
+        // Whitespace-only existing content is treated as a fresh file.
+        let fresh = merge_hotpath_json(Some("  \n"), "scaling", "    {\"figure\": \"scaling\"}");
+        assert!(fresh.contains("\"figure\": \"scaling\""));
+
+        // A well-formed container with an empty figures array is valid
+        // (e.g. hand-edited to drop stale entries), not a parse failure.
+        let empty = "{\n  \"schema\": \"growt-bench/hotpath-v2\",\n  \"unit\": \"mops\",\n  \"figures\": [\n  ]\n}\n";
+        let refilled = merge_hotpath_json(Some(empty), "scaling", "    {\"figure\": \"scaling\"}");
+        assert!(refilled.contains("\"figure\": \"scaling\""));
+        assert_eq!(refilled.matches("\"figure\":").count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to overwrite")]
+    fn hotpath_json_refuses_to_clobber_unparseable_trajectory() {
+        // Non-empty content without a recognizable figure block must never
+        // be silently replaced: the recorded trajectory would be lost.
+        merge_hotpath_json(
+            Some("{ \"schema\": \"growt-bench/hotpath-v2\", \"figures\": garbage"),
+            "scaling",
+            "    {\"figure\": \"scaling\"}",
+        );
+    }
+
+    #[test]
+    fn core_and_workloads_crc_hash_agree() {
+        // The tables (growt-core::crc) and the workload generators
+        // (growt-workloads::hash) each carry a CRC32-C kernel; the seeds
+        // and the construction must stay bit-identical or benchmarks that
+        // mix both would silently skew.  This crate depends on both, so
+        // the invariant is enforced here.
+        assert_eq!(
+            growt_core::crc::crc32c_hw_available(),
+            growt_workloads::crc32c_hw_available()
+        );
+        let mut state = 0x0123_4567_89AB_CDEFu64;
+        for i in 0..10_000u64 {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let x = state.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ i;
+            assert_eq!(
+                growt_core::crc::crc64_pair(x),
+                growt_workloads::crc64_pair(x),
+                "crc64_pair diverged at x = {x:#x}"
+            );
+            assert_eq!(
+                growt_core::crc::crc32c_u64_sw(growt_core::crc::CRC_SEED_HI, x),
+                growt_workloads::crc32c_u64_sw(growt_core::crc::CRC_SEED_HI, x),
+                "software kernels diverged at x = {x:#x}"
+            );
+        }
     }
 
     #[test]

@@ -37,13 +37,43 @@ pub fn capacity_for(expected_elements: usize) -> usize {
 
 /// The default hash function of all tables in this crate: the splitmix64 /
 /// MurmurHash3 finalizer — a cheap bijective mixer.  The paper uses two
-/// hardware CRC32-C instructions instead; DESIGN.md documents the
-/// substitution (both are cheap, statistically uniform full-word hashes).
+/// hardware CRC32-C instructions instead; that path is available per table
+/// via [`HashSelect::Crc`] (see [`crate::crc`]), and DESIGN.md documents
+/// the trade-off (both are cheap, statistically uniform full-word hashes).
 #[inline]
 pub fn hash_key(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^ (x >> 31)
+}
+
+/// Which hash function a table instance uses for its cell mapping.
+///
+/// The selection is **per table** (a field of the table, not a process
+/// global) so benchmarks can measure both paths side by side and tests
+/// cannot interfere with each other.  All generations of one growing table
+/// inherit the selection — the cluster migration (Lemma 1) requires source
+/// and target to agree on the hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HashSelect {
+    /// The splitmix64 finalizer ([`hash_key`], the software default).
+    #[default]
+    Mix,
+    /// The paper's two-seed CRC32-C pair (§8.3), executed with the
+    /// hardware `crc32q` instruction when the CPU has SSE4.2 and falling
+    /// back to the table-driven software port otherwise.
+    Crc,
+}
+
+impl HashSelect {
+    /// Hash `x` with the selected function.
+    #[inline]
+    pub fn hash(self, x: u64) -> u64 {
+        match self {
+            HashSelect::Mix => hash_key(x),
+            HashSelect::Crc => crate::crc::crc64_pair(x),
+        }
+    }
 }
 
 /// Map a full-width hash value to a cell index of a table with `capacity`
@@ -141,6 +171,21 @@ mod tests {
         for (&h, &pos) in hashes.iter().zip(&small) {
             let target = scale_to_capacity(h, 2 * c);
             assert!(target >= 2 * pos && target < 2 * (pos + 1));
+        }
+    }
+
+    #[test]
+    fn hash_select_dispatch() {
+        assert_eq!(HashSelect::Mix.hash(77), hash_key(77));
+        assert_eq!(HashSelect::Crc.hash(77), crate::crc::crc64_pair(77));
+        assert_eq!(HashSelect::default(), HashSelect::Mix);
+        // The scaling mapping stays monotone for both hashes (Lemma 1 only
+        // needs monotonicity of the mapping, not any hash property).
+        for hash in [HashSelect::Mix, HashSelect::Crc] {
+            let mut hs: Vec<u64> = (0..1000u64).map(|x| hash.hash(x)).collect();
+            hs.sort_unstable();
+            let cells: Vec<usize> = hs.iter().map(|&h| scale_to_capacity(h, 1 << 16)).collect();
+            assert!(cells.windows(2).all(|w| w[0] <= w[1]));
         }
     }
 

@@ -30,7 +30,7 @@ use growt_reclaim::{CachedArc, VersionedArc};
 use parking_lot::Mutex;
 
 use crate::cell::MAX_MARKABLE_KEY;
-use crate::config::{capacity_for, GrowConfig};
+use crate::config::{capacity_for, GrowConfig, HashSelect};
 use crate::count::{GlobalCount, LocalCount};
 use crate::migrate::{migrate_block_exclusive, migrate_block_marking, migrate_block_rehash};
 use crate::table::{BoundedTable, EraseOutcome, InsertOutcome, UpdateOutcome, UpsertOutcome};
@@ -71,6 +71,10 @@ pub struct GrowingOptions {
     /// Wrap single-cell operations in simulated hardware transactions
     /// (the `tsx*` variants of §6/§7).
     pub use_htm: bool,
+    /// Hash function of the cell mapping, inherited by every table
+    /// generation (default: the splitmix64 mixer; [`HashSelect::Crc`]
+    /// selects the paper's hardware CRC32-C pair, §8.3).
+    pub hash: HashSelect,
 }
 
 impl Default for GrowingOptions {
@@ -83,6 +87,7 @@ impl Default for GrowingOptions {
                 .map(|n| n.get())
                 .unwrap_or(4),
             use_htm: false,
+            hash: HashSelect::default(),
         }
     }
 }
@@ -185,7 +190,7 @@ impl GrowingTable {
             .use_htm
             .then(|| growt_htm::HtmDomain::new((capacity / 4).max(64)));
         let inner = Arc::new(Inner {
-            current: VersionedArc::new(BoundedTable::with_cells(capacity, 1)),
+            current: VersionedArc::new(BoundedTable::with_cells_hashed(capacity, 1, options.hash)),
             counts: GlobalCount::new(),
             coordinator: Coordinator {
                 state: AtomicU64::new(STATE_IDLE),
@@ -251,6 +256,31 @@ impl GrowingTable {
     /// Transaction statistics of the simulated-HTM fast path, if enabled.
     pub fn htm_stats(&self) -> Option<(u64, u64, u64)> {
         self.inner.htm.as_ref().map(|h| h.stats.snapshot())
+    }
+
+    /// A counted reference to the current table generation.
+    ///
+    /// Diagnostics/tests only (e.g. `Arc::downgrade` to observe when a
+    /// retired generation is freed): this **does** take the shared lock and
+    /// bump the shared reference count — never call it per operation.
+    pub fn current_generation(&self) -> Arc<BoundedTable> {
+        self.inner.current.acquire().0
+    }
+
+    /// Number of counted references to the current table generation
+    /// (excluding the temporary this call itself takes).  With no migration
+    /// in flight this is `1 + live handles on this generation`, and it must
+    /// stay **constant** across any burst of table operations — the
+    /// zero-shared-traffic conformance tests assert exactly that.
+    pub fn generation_strong_count(&self) -> usize {
+        let (arc, _) = self.inner.current.acquire();
+        Arc::strong_count(&arc) - 1
+    }
+
+    /// Total number of counted-pointer acquisitions so far (grows by
+    /// O(handles × migrations), never per operation).
+    pub fn generation_acquire_count(&self) -> u64 {
+        self.inner.current.acquire_count()
     }
 
     /// The options this table was constructed with.
@@ -350,7 +380,11 @@ impl Inner {
 
         let block_size = self.options.grow.migration_block;
         let total_blocks = old_capacity.div_ceil(block_size);
-        let target = Arc::new(BoundedTable::with_cells(new_capacity, version + 1));
+        let target = Arc::new(BoundedTable::with_cells_hashed(
+            new_capacity,
+            version + 1,
+            source.hash_select(),
+        ));
         let job = Arc::new(MigrationJob {
             source,
             target,
@@ -490,6 +524,23 @@ impl Inner {
         }
     }
 
+    /// Execute `op` under the (optional) simulated-HTM speculative path.
+    ///
+    /// Lives on `Inner` (not the handle) so operations can call it while
+    /// they hold the borrow of the handle-local table cache.
+    #[inline]
+    fn with_htm<R>(&self, table: &BoundedTable, key: u64, op: impl Fn() -> R) -> R {
+        match &self.htm {
+            Some(htm) => {
+                // One conflict-detection stripe per 4 cells (≈ one cache line).
+                let line = table.home_cell(key) >> 2;
+                let (result, _) = htm.execute(line, &op, &op);
+                result
+            }
+            None => op(),
+        }
+    }
+
     fn register_handle(&self) -> Arc<HandleShared> {
         let shared = Arc::new(HandleShared {
             busy: AtomicU64::new(0),
@@ -526,21 +577,44 @@ impl<'a> GrowHandle<'a> {
         }
     }
 
-    /// Refresh the cached table pointer; pending local counts that belong
-    /// to an already migrated generation are discarded (the migration
-    /// counted those elements exactly).
+    /// The zero-shared-traffic operation prologue (§5.3.2): borrow the
+    /// current table generation from the handle-local cache.
+    ///
+    /// The fast path is one acquire-load of the shared version word plus a
+    /// compare — **no `Arc::clone`, no shared reference-count RMW**.  The
+    /// handle's cache keeps the generation's counted pointer alive for the
+    /// duration of the borrow, so the borrow is always valid even if a
+    /// migration publishes a newer generation mid-operation (the retired
+    /// generation is immutable from that moment and every cell is frozen,
+    /// which is what makes stale reads linearizable).
+    ///
+    /// Borrows are taken through disjoint fields (`cached`, `local`)
+    /// instead of `&mut self` so callers can keep using the remaining
+    /// handle state — in particular `after_insert`/`end_op` — once they
+    /// captured `(capacity, version)` and dropped the table borrow.
     #[inline]
-    fn table(&mut self) -> Arc<BoundedTable> {
-        let (table, refreshed) = self.cached.get(&self.inner.current);
+    fn table_ref<'t>(
+        cached: &'t mut CachedArc<BoundedTable>,
+        local: &mut LocalCount,
+        inner: &Inner,
+    ) -> &'t BoundedTable {
+        let (table, refreshed) = cached.get_ref(&inner.current);
         if refreshed {
-            self.local = LocalCount::new(
-                self.inner.options.threads_hint,
-                self.inner
-                    .handle_seed
-                    .fetch_add(0x9E37_79B9, Ordering::Relaxed),
-            );
+            Self::reset_local_counts(local, inner);
         }
-        Arc::clone(table)
+        table
+    }
+
+    /// Refresh epilogue, once per handle per migration: pending local
+    /// counts that belong to an already migrated generation are discarded
+    /// (the migration counted those elements exactly).  Out of line so the
+    /// cached branch of [`GrowHandle::table_ref`] stays tight.
+    #[cold]
+    fn reset_local_counts(local: &mut LocalCount, inner: &Inner) {
+        *local = LocalCount::new(
+            inner.options.threads_hint,
+            inner.handle_seed.fetch_add(0x9E37_79B9, Ordering::Relaxed),
+        );
     }
 
     /// Synchronized-protocol prologue: announce the operation and make sure
@@ -586,42 +660,30 @@ impl<'a> GrowHandle<'a> {
         self.local.record_deletion(&self.inner.counts);
     }
 
-    /// Execute `op` under the (optional) simulated-HTM speculative path.
-    #[inline]
-    fn with_htm<R>(&self, table: &BoundedTable, key: u64, op: impl Fn() -> R) -> R {
-        match &self.inner.htm {
-            Some(htm) => {
-                // One conflict-detection stripe per 4 cells (≈ one cache line).
-                let line = table.home_cell(key) >> 2;
-                let (result, _) = htm.execute(line, &op, &op);
-                result
-            }
-            None => op(),
-        }
-    }
-
     /// Insert `⟨k, v⟩`; returns `true` iff the key was not present.
     pub fn insert(&mut self, key: u64, value: u64) -> bool {
         assert!(
             (2..=MAX_MARKABLE_KEY).contains(&key),
             "key {key} is reserved"
         );
+        let inner = self.inner;
         loop {
             self.begin_op();
-            let table = self.table();
-            let outcome = self.with_htm(&table, key, || table.insert(key, value));
+            let table = Self::table_ref(&mut self.cached, &mut self.local, inner);
+            let (capacity, version) = (table.capacity(), table.version());
+            let outcome = inner.with_htm(table, key, || table.insert(key, value));
             self.end_op();
             match outcome {
                 InsertOutcome::Inserted { .. } => {
-                    self.after_insert(table.capacity(), table.version());
+                    self.after_insert(capacity, version);
                     return true;
                 }
                 InsertOutcome::AlreadyPresent => return false,
                 InsertOutcome::Full => {
-                    self.inner.grow(table.version(), &self.shared);
+                    inner.grow(version, &self.shared);
                 }
                 InsertOutcome::Migrating => {
-                    self.inner.help_or_wait(table.version());
+                    inner.help_or_wait(version);
                 }
             }
         }
@@ -633,7 +695,7 @@ impl<'a> GrowHandle<'a> {
         // a slightly stale table generation, which is linearizable because
         // the retired generation is immutable (all cells frozen) from the
         // moment the new generation becomes visible.
-        let table = self.table();
+        let table = Self::table_ref(&mut self.cached, &mut self.local, self.inner);
         table.find(key)
     }
 
@@ -645,22 +707,24 @@ impl<'a> GrowHandle<'a> {
     /// 128-bit CAS on the hot path); the marking protocol needs the
     /// mark-aware full-cell CAS.
     pub fn update(&mut self, key: u64, d: u64, up: impl Fn(u64, u64) -> u64 + Copy) -> bool {
-        if self.inner.synchronized() && self.inner.htm.is_none() {
+        let inner = self.inner;
+        if inner.synchronized() && inner.htm.is_none() {
             self.begin_op();
-            let table = self.table();
+            let table = Self::table_ref(&mut self.cached, &mut self.local, inner);
             let outcome = table.update_value_cas_unsynchronized(key, d, up);
             self.end_op();
             return outcome == UpdateOutcome::Updated;
         }
         loop {
             self.begin_op();
-            let table = self.table();
-            let outcome = self.with_htm(&table, key, || table.update_with(key, d, up));
+            let table = Self::table_ref(&mut self.cached, &mut self.local, inner);
+            let version = table.version();
+            let outcome = inner.with_htm(table, key, || table.update_with(key, d, up));
             self.end_op();
             match outcome {
                 UpdateOutcome::Updated => return true,
                 UpdateOutcome::NotFound => return false,
-                UpdateOutcome::Migrating => self.inner.help_or_wait(table.version()),
+                UpdateOutcome::Migrating => inner.help_or_wait(version),
             }
         }
     }
@@ -669,9 +733,10 @@ impl<'a> GrowHandle<'a> {
     /// uses a plain atomic store (the specialization discussed in §4/§8.4);
     /// under the marking protocol it must go through the full-cell CAS.
     pub fn update_overwrite(&mut self, key: u64, value: u64) -> bool {
-        if self.inner.synchronized() {
+        let inner = self.inner;
+        if inner.synchronized() {
             self.begin_op();
-            let table = self.table();
+            let table = Self::table_ref(&mut self.cached, &mut self.local, inner);
             let outcome = table.update_overwrite_unsynchronized(key, value);
             self.end_op();
             outcome == UpdateOutcome::Updated
@@ -692,19 +757,21 @@ impl<'a> GrowHandle<'a> {
             (2..=MAX_MARKABLE_KEY).contains(&key),
             "key {key} is reserved"
         );
+        let inner = self.inner;
         loop {
             self.begin_op();
-            let table = self.table();
-            let outcome = self.with_htm(&table, key, || table.upsert_with(key, d, up));
+            let table = Self::table_ref(&mut self.cached, &mut self.local, inner);
+            let (capacity, version) = (table.capacity(), table.version());
+            let outcome = inner.with_htm(table, key, || table.upsert_with(key, d, up));
             self.end_op();
             match outcome {
                 UpsertOutcome::Inserted => {
-                    self.after_insert(table.capacity(), table.version());
+                    self.after_insert(capacity, version);
                     return true;
                 }
                 UpsertOutcome::Updated => return false,
-                UpsertOutcome::Full => self.inner.grow(table.version(), &self.shared),
-                UpsertOutcome::Migrating => self.inner.help_or_wait(table.version()),
+                UpsertOutcome::Full => inner.grow(version, &self.shared),
+                UpsertOutcome::Migrating => inner.help_or_wait(version),
             }
         }
     }
@@ -717,19 +784,21 @@ impl<'a> GrowHandle<'a> {
                 (2..=MAX_MARKABLE_KEY).contains(&key),
                 "key {key} is reserved"
             );
+            let inner = self.inner;
             loop {
                 self.begin_op();
-                let table = self.table();
+                let table = Self::table_ref(&mut self.cached, &mut self.local, inner);
+                let (capacity, version) = (table.capacity(), table.version());
                 let outcome = table.upsert_fetch_add_unsynchronized(key, d);
                 self.end_op();
                 match outcome {
                     UpsertOutcome::Inserted => {
-                        self.after_insert(table.capacity(), table.version());
+                        self.after_insert(capacity, version);
                         return true;
                     }
                     UpsertOutcome::Updated => return false,
-                    UpsertOutcome::Full => self.inner.grow(table.version(), &self.shared),
-                    UpsertOutcome::Migrating => self.inner.help_or_wait(table.version()),
+                    UpsertOutcome::Full => inner.grow(version, &self.shared),
+                    UpsertOutcome::Migrating => inner.help_or_wait(version),
                 }
             }
         } else {
@@ -739,9 +808,11 @@ impl<'a> GrowHandle<'a> {
 
     /// Delete `key` (tombstone + eventual cleanup migration, §5.4).
     pub fn erase(&mut self, key: u64) -> bool {
+        let inner = self.inner;
         loop {
             self.begin_op();
-            let table = self.table();
+            let table = Self::table_ref(&mut self.cached, &mut self.local, inner);
+            let version = table.version();
             let outcome = table.erase(key);
             self.end_op();
             match outcome {
@@ -750,7 +821,7 @@ impl<'a> GrowHandle<'a> {
                     return true;
                 }
                 EraseOutcome::NotFound => return false,
-                EraseOutcome::Migrating => self.inner.help_or_wait(table.version()),
+                EraseOutcome::Migrating => inner.help_or_wait(version),
             }
         }
     }
@@ -780,7 +851,7 @@ impl<'a> GrowHandle<'a> {
     /// slightly stale (immutable) table generation.
     pub fn find_batch(&mut self, keys: &[u64], out: &mut [Option<u64>]) {
         assert_eq!(keys.len(), out.len(), "find_batch: length mismatch");
-        let table = self.table();
+        let table = Self::table_ref(&mut self.cached, &mut self.local, self.inner);
         table.find_batch(keys, out);
     }
 
@@ -875,6 +946,7 @@ impl<'a> GrowHandle<'a> {
         exec: impl Fn(&BoundedTable, &[T], &mut [O]),
         classify: impl Fn(O) -> BatchDisposition,
     ) -> usize {
+        let inner = self.inner;
         let mut pending: Vec<T> = Vec::new();
         let mut outcomes: Vec<O> = Vec::new();
         let mut succeeded = 0usize;
@@ -885,11 +957,15 @@ impl<'a> GrowHandle<'a> {
                 outcomes.clear();
                 outcomes.resize(pending.len(), default_outcome);
                 self.begin_op();
-                let table = self.table();
-                exec(&table, &pending, &mut outcomes);
+                // Borrowed, not cloned: the whole segment runs on one table
+                // borrow, with (capacity, version) captured up front so the
+                // classification loop below can use `&mut self` freely.
+                let (capacity, version) = {
+                    let table = Self::table_ref(&mut self.cached, &mut self.local, inner);
+                    exec(table, &pending, &mut outcomes);
+                    (table.capacity(), table.version())
+                };
                 self.end_op();
-                let capacity = table.capacity();
-                let version = table.version();
                 let mut need_grow = false;
                 let mut write = 0usize;
                 for read in 0..pending.len() {
@@ -919,9 +995,9 @@ impl<'a> GrowHandle<'a> {
                     break;
                 }
                 if need_grow {
-                    self.inner.grow(version, &self.shared);
+                    inner.grow(version, &self.shared);
                 } else {
-                    self.inner.help_or_wait(version);
+                    inner.help_or_wait(version);
                 }
             }
         }

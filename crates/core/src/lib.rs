@@ -10,6 +10,8 @@
 //! * [`table`] — the bounded **folklore** table (§4): insert / find /
 //!   update / insert-or-update / tombstone deletion, all lock-free;
 //! * [`count`] — approximate size counting with handle-local counters (§5.2);
+//! * [`crc`] — the paper's two-seed CRC32-C hash (§8.3), hardware
+//!   `crc32q` when SSE4.2 is present, table-driven port otherwise;
 //! * [`migrate`] — the cluster-based parallel migration (§5.3.1, Lemma 1);
 //! * [`grow`] — the growing table framework combining the enslavement/pool
 //!   and marking/synchronized strategies (§5.3.2);
@@ -29,6 +31,7 @@ pub mod cell;
 pub mod complex;
 pub mod config;
 pub mod count;
+pub mod crc;
 pub mod grow;
 pub mod keyspace;
 pub mod migrate;
@@ -36,7 +39,7 @@ pub mod prefetch;
 pub mod table;
 pub mod variants;
 
-pub use config::{capacity_for, GrowConfig};
+pub use config::{capacity_for, GrowConfig, HashSelect};
 pub use grow::{Consistency, GrowHandle, GrowStrategy, GrowingOptions, GrowingTable};
 pub use table::BoundedTable;
-pub use variants::{Folklore, PaGrow, PsGrow, TsxFolklore, UaGrow, UsGrow};
+pub use variants::{Folklore, FolkloreCrc, PaGrow, PsGrow, TsxFolklore, UaGrow, UaGrowCrc, UsGrow};

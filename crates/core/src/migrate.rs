@@ -28,7 +28,7 @@
 //!   does not apply, and as the baseline of the migration ablation).
 
 use crate::cell::{unmark, DEL_KEY, EMPTY_KEY};
-use crate::config::{hash_key, scale_to_capacity, BATCH_PIPELINE};
+use crate::config::BATCH_PIPELINE;
 use crate::prefetch::{prefetch_write, CELLS_PER_LINE};
 use crate::table::BoundedTable;
 
@@ -85,7 +85,9 @@ fn freeze(src: &BoundedTable, index: usize, mode: FreezeMode) -> (u64, u64) {
 #[inline]
 fn place_sequential(dst: &BoundedTable, key: u64, value: u64) {
     let capacity = dst.capacity();
-    let mut pos = scale_to_capacity(crate::config::hash_key(key), capacity);
+    // `home_cell` uses the destination table's own hash selection, so the
+    // migration stays correct for CRC-hashed tables too.
+    let mut pos = dst.home_cell(key);
     loop {
         if dst.cell(pos).load_key() == EMPTY_KEY {
             dst.cell(pos).store_unsynchronized(key, value);
@@ -170,7 +172,7 @@ fn migrate_block(
         // `index - 1` is the first cell of a cluster.
         cluster.clear();
         if key != DEL_KEY {
-            prefetch_write(dst.cell(scale_to_capacity(hash_key(key), dst.capacity())));
+            prefetch_write(dst.cell(dst.home_cell(key)));
             cluster.push((key, value));
         }
         // Walk the rest of the cluster (possibly past the block end).
@@ -193,7 +195,7 @@ fn migrate_block(
                 break;
             }
             if k != DEL_KEY {
-                prefetch_write(dst.cell(scale_to_capacity(hash_key(k), dst.capacity())));
+                prefetch_write(dst.cell(dst.home_cell(k)));
                 cluster.push((k, v));
             }
         }
@@ -243,7 +245,7 @@ pub fn migrate_block_rehash(
         for index in chunk_start..chunk_end {
             let (key, value) = freeze(src, index, mode);
             if key != EMPTY_KEY && key != DEL_KEY {
-                prefetch_write(dst.cell(scale_to_capacity(hash_key(key), dst.capacity())));
+                prefetch_write(dst.cell(dst.home_cell(key)));
                 live.push((key, value));
             }
         }
@@ -318,6 +320,20 @@ mod tests {
         assert_eq!(before, after);
         for &k in &keys {
             assert_eq!(dst.find(k), Some(k.wrapping_mul(10)));
+        }
+    }
+
+    #[test]
+    fn crc_hashed_cluster_migration_preserves_contents() {
+        use crate::config::HashSelect;
+        let src = BoundedTable::with_cells_hashed(1 << 11, 0, HashSelect::Crc);
+        let keys = test_keys(800, 21);
+        fill(&src, &keys);
+        let dst = BoundedTable::with_cells_hashed(1 << 12, 1, HashSelect::Crc);
+        let migrated = migrate_all_sequential(&src, &dst);
+        assert_eq!(migrated, keys.len());
+        for &k in &keys {
+            assert_eq!(dst.find(k), Some(k.wrapping_mul(10)), "key {k} lost");
         }
     }
 

@@ -10,7 +10,7 @@
 //! `BoundedTable` and migrates it into a larger one when it fills up.
 
 use crate::cell::{is_marked, unmark, Cell, DEL_KEY, EMPTY_KEY, MARK_BIT};
-use crate::config::{capacity_for, hash_key, scale_to_capacity, BATCH_PIPELINE, PROBE_LIMIT};
+use crate::config::{capacity_for, scale_to_capacity, HashSelect, BATCH_PIPELINE, PROBE_LIMIT};
 use crate::prefetch::{prefetch_read, prefetch_write, CELLS_PER_LINE};
 
 /// Outcome of an insertion attempt.
@@ -74,6 +74,11 @@ pub struct BoundedTable {
     /// Table generation (0 for standalone tables; growing tables stamp
     /// every new table with an increasing version for diagnostics).
     version: u64,
+    /// Hash function of the cell mapping.  Per-table so the CRC32-C path
+    /// (§8.3) can be benchmarked side by side with the default mixer; all
+    /// generations of a growing table share one selection (the cluster
+    /// migration requires source and target to agree on the hash).
+    hash: HashSelect,
 }
 
 impl BoundedTable {
@@ -84,8 +89,14 @@ impl BoundedTable {
     }
 
     /// Create a table with exactly `capacity` cells (must be a power of
-    /// two) and the given generation number.
+    /// two), the given generation number and the default hash.
     pub fn with_cells(capacity: usize, version: u64) -> Self {
+        Self::with_cells_hashed(capacity, version, HashSelect::default())
+    }
+
+    /// Create a table with exactly `capacity` cells (must be a power of
+    /// two), the given generation number and the given hash selection.
+    pub fn with_cells_hashed(capacity: usize, version: u64, hash: HashSelect) -> Self {
         assert!(
             capacity.is_power_of_two(),
             "capacity must be a power of two"
@@ -95,6 +106,7 @@ impl BoundedTable {
             cells,
             capacity,
             version,
+            hash,
         }
     }
 
@@ -116,10 +128,16 @@ impl BoundedTable {
         &self.cells[index]
     }
 
+    /// Hash selection of this table's cell mapping.
+    #[inline]
+    pub fn hash_select(&self) -> HashSelect {
+        self.hash
+    }
+
     /// First cell index probed for `key`.
     #[inline]
     pub fn home_cell(&self, key: u64) -> usize {
-        scale_to_capacity(hash_key(key), self.capacity)
+        scale_to_capacity(self.hash.hash(key), self.capacity)
     }
 
     /// Advance a probe index and, whenever the run crosses into a new
@@ -644,6 +662,24 @@ mod tests {
         assert!(matches!(t.insert(7, 1), InsertOutcome::Inserted { .. }));
         assert_eq!(t.insert(7, 2), InsertOutcome::AlreadyPresent);
         assert_eq!(t.find(7), Some(1));
+    }
+
+    #[test]
+    fn crc_hashed_table_roundtrip() {
+        let t = BoundedTable::with_cells_hashed(2048, 0, HashSelect::Crc);
+        assert_eq!(t.hash_select(), HashSelect::Crc);
+        for k in 10..510u64 {
+            assert!(matches!(t.insert(k, k * 2), InsertOutcome::Inserted { .. }));
+            assert_eq!(
+                t.home_cell(k),
+                scale_to_capacity(crate::crc::crc64_pair(k), t.capacity())
+            );
+        }
+        for k in 10..510u64 {
+            assert_eq!(t.find(k), Some(k * 2));
+        }
+        assert_eq!(t.erase(10), EraseOutcome::Erased);
+        assert_eq!(t.find(10), None);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use growt_iface::{
     Value,
 };
 
+use crate::config::{capacity_for, HashSelect};
 use crate::grow::{Consistency, GrowHandle, GrowStrategy, GrowingOptions, GrowingTable};
 use crate::table::{BoundedTable, EraseOutcome, InsertOutcome, UpdateOutcome, UpsertOutcome};
 
@@ -297,6 +298,11 @@ impl MapHandle for TsxFolkloreHandle<'_> {
 macro_rules! growing_variant {
     ($(#[$doc:meta])* $name:ident, $handle:ident, $strategy:expr, $consistency:expr,
      $display:literal, $htm:literal) => {
+        growing_variant!($(#[$doc])* $name, $handle, $strategy, $consistency,
+            $display, $htm, HashSelect::Mix);
+    };
+    ($(#[$doc:meta])* $name:ident, $handle:ident, $strategy:expr, $consistency:expr,
+     $display:literal, $htm:literal, $hash:expr) => {
         $(#[$doc])*
         pub struct $name {
             table: GrowingTable,
@@ -323,6 +329,7 @@ macro_rules! growing_variant {
                     consistency: $consistency,
                     threads_hint: threads_hint(),
                     use_htm: $htm,
+                    hash: $hash,
                     ..GrowingOptions::default()
                 };
                 $name {
@@ -487,6 +494,51 @@ growing_variant!(
     true
 );
 
+growing_variant!(
+    /// `uaGrow` hashing with the paper's hardware CRC32-C pair instead of
+    /// the splitmix64 mixer (§8.3) — the `scaling` figure measures this
+    /// against [`UaGrow`] to quantify the hash substitution.
+    UaGrowCrc,
+    UaGrowCrcHandle,
+    GrowStrategy::Enslave,
+    Consistency::AsyncMarking,
+    "uaGrow-crc",
+    false,
+    HashSelect::Crc
+);
+
+// ---------------------------------------------------------------------------
+// FolkloreCrc (bounded, CRC32-C cell mapping)
+// ---------------------------------------------------------------------------
+
+/// The bounded folklore table hashing with the paper's hardware CRC32-C
+/// pair instead of the splitmix64 mixer (§8.3).  Shares
+/// [`FolkloreHandle`] with [`Folklore`]; only the cell mapping differs.
+pub struct FolkloreCrc {
+    table: BoundedTable,
+}
+
+impl ConcurrentMap for FolkloreCrc {
+    type Handle<'a> = FolkloreHandle<'a>;
+
+    fn with_capacity(capacity: usize) -> Self {
+        FolkloreCrc {
+            table: BoundedTable::with_cells_hashed(capacity_for(capacity), 0, HashSelect::Crc),
+        }
+    }
+
+    fn handle(&self) -> FolkloreHandle<'_> {
+        FolkloreHandle { table: &self.table }
+    }
+
+    fn capabilities() -> Capabilities {
+        Capabilities {
+            name: "folklore-crc",
+            ..Folklore::capabilities()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -541,6 +593,25 @@ mod tests {
         smoke::<PsGrow>();
         smoke::<UaGrowTsx>();
         smoke::<UsGrowTsx>();
+        smoke::<UaGrowCrc>();
+    }
+
+    #[test]
+    fn crc_variants_grow_and_roundtrip() {
+        // The CRC-hashed tables must survive migrations (cell mapping is
+        // inherited by every generation) and plain bounded operation.
+        smoke::<FolkloreCrc>();
+        let table = UaGrowCrc::with_capacity(16);
+        let mut h = table.handle();
+        for k in 2..10_002u64 {
+            assert!(h.insert(k, k * 3));
+        }
+        assert!(table.inner().migrations_completed() > 0);
+        for k in 2..10_002u64 {
+            assert_eq!(h.find(k), Some(k * 3));
+        }
+        assert_eq!(FolkloreCrc::table_name(), "folklore-crc");
+        assert_eq!(UaGrowCrc::table_name(), "uaGrow-crc");
     }
 
     #[test]

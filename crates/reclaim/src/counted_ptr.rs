@@ -19,6 +19,10 @@ use parking_lot::Mutex;
 pub struct VersionedArc<T> {
     current: Mutex<Arc<T>>,
     version: AtomicU64,
+    /// Number of [`VersionedArc::acquire`] calls ever made (diagnostics:
+    /// the zero-shared-traffic conformance tests assert that a burst of
+    /// table operations performs no acquisition at all).
+    acquires: AtomicU64,
 }
 
 impl<T> VersionedArc<T> {
@@ -27,6 +31,7 @@ impl<T> VersionedArc<T> {
         VersionedArc {
             current: Mutex::new(Arc::new(initial)),
             version: AtomicU64::new(1),
+            acquires: AtomicU64::new(0),
         }
     }
 
@@ -54,7 +59,15 @@ impl<T> VersionedArc<T> {
         let guard = self.current.lock();
         let arc = Arc::clone(&guard);
         let version = self.version.load(Ordering::Acquire);
+        self.acquires.fetch_add(1, Ordering::Relaxed);
         (arc, version)
+    }
+
+    /// Total number of [`VersionedArc::acquire`] calls so far.  Purely a
+    /// diagnostic: the hot path never acquires, so this counter should grow
+    /// by O(handles × migrations), not O(operations).
+    pub fn acquire_count(&self) -> u64 {
+        self.acquires.load(Ordering::Relaxed)
     }
 
     /// Publish `new` as the next version unconditionally.  Returns the
@@ -122,6 +135,20 @@ impl<T> CachedArc<T> {
         } else {
             (&self.cached, false)
         }
+    }
+
+    /// Borrow-based variant of [`CachedArc::get`]: the same
+    /// version-load-and-compare fast path, but the value is handed out as a
+    /// plain `&T` borrowed from the handle-local cache instead of a
+    /// `&Arc<T>` that invites a clone.  This is the operation prologue of
+    /// the hash-table handles (§5.3.2): because the cache itself keeps the
+    /// counted pointer alive for the duration of the borrow, the fast path
+    /// touches **no shared cache line at all** beyond the read-only version
+    /// word — zero reference-count RMWs per operation.
+    #[inline]
+    pub fn get_ref<'a>(&'a mut self, source: &VersionedArc<T>) -> (&'a T, bool) {
+        let (arc, refreshed) = self.get(source);
+        (arc.as_ref(), refreshed)
     }
 
     /// Slow path of [`CachedArc::get`]: re-acquire the counted pointer
@@ -199,6 +226,28 @@ mod tests {
         assert!(refreshed);
         let (_, refreshed) = cache.get(&slot);
         assert!(!refreshed);
+    }
+
+    #[test]
+    fn get_ref_borrows_without_touching_the_shared_count() {
+        let slot = VersionedArc::new(5u64);
+        let mut cache = CachedArc::new(&slot);
+        let acquires_after_init = slot.acquire_count();
+        let count_before = Arc::strong_count(cache.cached());
+        for _ in 0..1000 {
+            let (val, refreshed) = cache.get_ref(&slot);
+            assert_eq!(*val, 5);
+            assert!(!refreshed);
+        }
+        // No acquisition and no refcount traffic happened on the cached path.
+        assert_eq!(slot.acquire_count(), acquires_after_init);
+        assert_eq!(Arc::strong_count(cache.cached()), count_before);
+        // A publish forces exactly one re-acquisition.
+        slot.publish(Arc::new(6));
+        let (val, refreshed) = cache.get_ref(&slot);
+        assert_eq!(*val, 6);
+        assert!(refreshed);
+        assert_eq!(slot.acquire_count(), acquires_after_init + 1);
     }
 
     #[test]

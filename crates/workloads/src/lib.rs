@@ -30,7 +30,7 @@ pub use driver::{
     insert_batch_driver, insert_driver, mixed_driver, prefill, run_parallel, run_parallel_batched,
     update_batch_driver, update_driver,
 };
-pub use hash::{crc64_pair, mix64, HashKind};
+pub use hash::{crc32c_hw_available, crc32c_u64, crc32c_u64_sw, crc64_pair, mix64, HashKind};
 pub use keys::{
     deletion_workload, dense_prefill_keys, mixed_workload, uniform_distinct_keys, uniform_keys,
     zipf_keys, DeletionWorkload, MixedOp, MixedWorkload,

@@ -50,7 +50,8 @@ pub mod prelude {
         RcuQsbrTable, RcuTable, TbbHashMap, TbbUnorderedMap,
     };
     pub use growt_core::{
-        Folklore, GrowingOptions, GrowingTable, PaGrow, PsGrow, TsxFolklore, UaGrow, UsGrow,
+        Folklore, FolkloreCrc, GrowingOptions, GrowingTable, HashSelect, PaGrow, PsGrow,
+        TsxFolklore, UaGrow, UaGrowCrc, UsGrow,
     };
     pub use growt_iface::{Capabilities, ConcurrentMap, GrowthSupport, InsertOrUpdate, MapHandle};
     pub use growt_seq::{SeqGrowingTable, SeqTable};

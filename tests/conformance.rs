@@ -331,8 +331,10 @@ macro_rules! conformance {
 conformance! {
     // growt-core variants (§7).
     folklore => Folklore,
+    folklore_crc => FolkloreCrc,
     tsx_folklore => TsxFolklore,
     ua_grow => UaGrow,
+    ua_grow_crc => UaGrowCrc,
     us_grow => UsGrow,
     pa_grow => PaGrow,
     ps_grow => PsGrow,

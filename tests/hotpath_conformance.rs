@@ -1,0 +1,251 @@
+//! Conformance tests for the zero-shared-traffic operation prologue
+//! (§5.3.2) and the counted-pointer reclamation contract it rests on.
+//!
+//! The handles cache the counted pointer to the current table generation
+//! and *borrow* from that cache per operation, so the steady-state fast
+//! path of find/insert/update/erase must perform **no shared
+//! reference-count RMW at all** — the shared count is touched once per
+//! handle per *migration*.  Conversely, the borrow must not break
+//! reclamation: once every handle has refreshed past a retired generation
+//! it has to be freed.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use growt_core::{Consistency, GrowStrategy, GrowingOptions, GrowingTable, HashSelect};
+
+fn options(strategy: GrowStrategy, consistency: Consistency) -> GrowingOptions {
+    GrowingOptions {
+        strategy,
+        consistency,
+        threads_hint: 4,
+        ..GrowingOptions::default()
+    }
+}
+
+fn all_variants() -> Vec<(&'static str, GrowingOptions)> {
+    vec![
+        (
+            "uaGrow",
+            options(GrowStrategy::Enslave, Consistency::AsyncMarking),
+        ),
+        (
+            "usGrow",
+            options(GrowStrategy::Enslave, Consistency::Synchronized),
+        ),
+        (
+            "paGrow",
+            options(GrowStrategy::Pool, Consistency::AsyncMarking),
+        ),
+        (
+            "psGrow",
+            options(GrowStrategy::Pool, Consistency::Synchronized),
+        ),
+    ]
+}
+
+/// The steady-state fast path takes no shared refcount: across a burst of
+/// find/insert/update/erase from live handles, the strong count of the
+/// current generation never changes — not even transiently (a concurrent
+/// sampler watches for spikes a before/after comparison would miss) — and
+/// the counted pointer is never re-acquired.
+#[test]
+fn fast_path_takes_no_shared_refcount() {
+    for (name, opts) in all_variants() {
+        // Large enough that the burst (20k inserts + updates + erases)
+        // stays far below the 60% growth trigger: no migration, therefore
+        // any refcount movement must come from per-op traffic.
+        let table = GrowingTable::with_options(1 << 17, opts);
+        let mut worker = table.handle();
+        let mut second = table.handle(); // a second live handle, idle
+        second.insert(2, 2); // warm both caches on the current generation
+        worker.insert(3, 3);
+
+        let baseline = table.generation_strong_count();
+        let generation = table.current_generation();
+        // `current_generation` itself added one count; from here on nothing
+        // may move.  Sample the acquire counter after the diagnostics above
+        // (each of which legitimately acquires once).
+        let acquires_before = table.generation_acquire_count();
+
+        let stop = AtomicBool::new(false);
+        let max_seen = std::thread::scope(|s| {
+            let sampler = s.spawn(|| {
+                // At least one sample even if the burst finishes before the
+                // sampler is first scheduled: the steady-state count is
+                // baseline + 1 (our diagnostic clone) at any point in time.
+                let mut max_seen = Arc::strong_count(&generation);
+                while !stop.load(Ordering::Acquire) {
+                    max_seen = max_seen.max(Arc::strong_count(&generation));
+                    std::thread::yield_now();
+                }
+                max_seen
+            });
+            for k in 10..20_010u64 {
+                assert!(worker.insert(k, k), "{name}: insert {k}");
+                assert_eq!(worker.find(k), Some(k), "{name}: find {k}");
+                assert!(worker.update(k, 1, |c, d| c + d), "{name}: update {k}");
+                if k % 2 == 0 {
+                    assert!(worker.erase(k), "{name}: erase {k}");
+                }
+            }
+            stop.store(true, Ordering::Release);
+            sampler.join().unwrap()
+        });
+
+        // baseline counts: lock slot + 2 handles; +1 for our diagnostic
+        // clone of the generation.  The sampler must never have seen more.
+        assert_eq!(
+            max_seen,
+            baseline + 1,
+            "{name}: transient refcount traffic on the fast path"
+        );
+        assert_eq!(
+            table.generation_acquire_count(),
+            acquires_before,
+            "{name}: counted pointer re-acquired on the fast path"
+        );
+        drop(generation);
+        assert_eq!(
+            table.generation_strong_count(),
+            baseline,
+            "{name}: refcount drifted across the burst"
+        );
+        assert_eq!(table.migrations_completed(), 0, "{name}: test invalidated");
+    }
+}
+
+/// Same conformance on the CRC-hashed configuration (the hash path must
+/// not reintroduce shared state).
+#[test]
+fn fast_path_takes_no_shared_refcount_crc_hash() {
+    let opts = GrowingOptions {
+        hash: HashSelect::Crc,
+        threads_hint: 2,
+        ..GrowingOptions::default()
+    };
+    let table = GrowingTable::with_options(1 << 16, opts);
+    let mut handle = table.handle();
+    handle.insert(5, 5);
+    let baseline = table.generation_strong_count();
+    let acquires = table.generation_acquire_count();
+    for k in 10..5_010u64 {
+        handle.insert(k, k);
+        handle.find(k);
+    }
+    // Acquire count first: the strong-count diagnostic itself acquires.
+    assert_eq!(table.generation_acquire_count(), acquires);
+    assert_eq!(table.generation_strong_count(), baseline);
+}
+
+/// Batched operations ride the same borrowed prologue: one acquire-free
+/// borrow per segment, zero refcount RMWs.
+#[test]
+fn batch_fast_path_takes_no_shared_refcount() {
+    let table = GrowingTable::with_options(1 << 17, GrowingOptions::default());
+    let mut handle = table.handle();
+    handle.insert(2, 2);
+    let baseline = table.generation_strong_count();
+    let acquires = table.generation_acquire_count();
+    let elems: Vec<(u64, u64)> = (10..10_010u64).map(|k| (k, k)).collect();
+    let keys: Vec<u64> = elems.iter().map(|&(k, _)| k).collect();
+    let mut out = vec![None; keys.len()];
+    assert_eq!(handle.insert_batch(&elems), elems.len());
+    handle.find_batch(&keys, &mut out);
+    assert!(out.iter().all(|o| o.is_some()));
+    assert_eq!(
+        handle.update_batch(&elems, |c, d| c.wrapping_add(d)),
+        elems.len()
+    );
+    assert_eq!(handle.erase_batch(&keys), keys.len());
+    // Acquire count first: the strong-count diagnostic itself acquires.
+    assert_eq!(table.generation_acquire_count(), acquires);
+    assert_eq!(table.generation_strong_count(), baseline);
+    assert_eq!(table.migrations_completed(), 0, "test invalidated");
+}
+
+/// Reclamation contract behind the borrow refactor: after operations on N
+/// handles across ≥ 2 migrations, retired table generations are actually
+/// freed — the moment every handle has refreshed its cache, the retired
+/// generation's strong count reaches zero (observed through a weak
+/// reference), and the current generation's count returns to
+/// `1 + live handles`.
+#[test]
+fn retired_generations_freed_once_all_handles_refresh() {
+    for (name, opts) in all_variants() {
+        let table = GrowingTable::with_options(64, opts);
+        let mut driver = table.handle();
+        let mut idle: Vec<_> = (0..3).map(|_| table.handle()).collect();
+        // Warm every idle handle's cache on generation 1.
+        for (i, h) in idle.iter_mut().enumerate() {
+            h.insert(2 + i as u64, 1);
+        }
+        let gen1 = Arc::downgrade(&table.current_generation());
+
+        // Drive enough inserts through one handle to force ≥ 2 migrations.
+        let mut key = 100u64;
+        while table.migrations_completed() < 2 {
+            driver.insert(key, key);
+            key += 1;
+            assert!(key < 1_000_000, "{name}: migrations never happened");
+        }
+        // The driver triggered the last migration from inside `insert`, so
+        // its cache still pins the just-retired generation until its next
+        // operation refreshes it.
+        driver.find(100);
+        let gen_current = Arc::downgrade(&table.current_generation());
+
+        // The intermediate generations (driver refreshed past them, no one
+        // else ever cached them) are gone; generation 1 is still pinned by
+        // the three idle handles' caches.
+        assert!(
+            gen1.upgrade().is_some(),
+            "{name}: generation 1 freed while handles still cache it"
+        );
+
+        // One operation per idle handle refreshes its cache — after the
+        // last one, generation 1 must be freed.
+        for (i, h) in idle.iter_mut().enumerate() {
+            assert!(gen1.upgrade().is_some(), "{name}: freed too early");
+            h.find(2 + i as u64);
+        }
+        // Poll: a descheduled pool worker can still be dropping migration
+        // 1's transient job reference (which pinned generation 1) — same
+        // hazard `wait_for_strong_count` tolerates below.
+        for _ in 0..100_000 {
+            if gen1.upgrade().is_none() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert!(
+            gen1.upgrade().is_none(),
+            "{name}: retired generation leaked after all handles refreshed"
+        );
+
+        // The current generation is referenced exactly by the versioned
+        // slot and the four live handles.  A migration participant (pool
+        // worker) may still be dropping its transient job reference, so
+        // poll briefly before asserting.
+        wait_for_strong_count(&table, 1 + 4, name);
+        assert!(gen_current.upgrade().is_some(), "{name}");
+
+        // Dropping the handles releases their references too.
+        drop(driver);
+        drop(idle);
+        wait_for_strong_count(&table, 1, name);
+    }
+}
+
+/// Poll until the current generation's strong count settles at `expected`
+/// (migration participants drop their transient job references
+/// asynchronously), then assert it.
+fn wait_for_strong_count(table: &GrowingTable, expected: usize, name: &str) {
+    for _ in 0..100_000 {
+        if table.generation_strong_count() == expected {
+            return;
+        }
+        std::thread::yield_now();
+    }
+    assert_eq!(table.generation_strong_count(), expected, "{name}");
+}
