@@ -9,15 +9,43 @@
 //! `<id>` is one of: `table1`, `fig2a`, `fig2b`, `fig3a`, `fig3b`, `fig4a`,
 //! `fig4b`, `fig5a`, `fig5b`, `fig6`, `fig7a`, `fig7b`, `fig8a`, `fig8b`,
 //! `fig9a`, `fig9b`, `fig10`, `fig11a`, `fig11b`, `ablation_block`,
-//! `ablation_batch`, `scaling`, or `all`.  Output is TSV on stdout (one
-//! block per figure).  With `--json`, `ablation_batch` and `scaling`
-//! additionally merge their results into the machine-readable
-//! perf-trajectory record `BENCH_hotpath.json` (schema
+//! `ablation_batch`, `scaling`, `wordcount`, or `all`.  Output is TSV on
+//! stdout (one block per figure).  With `--json`, `ablation_batch`,
+//! `scaling` and `wordcount` additionally merge their results into the
+//! machine-readable perf-trajectory record `BENCH_hotpath.json` (schema
 //! `growt-bench/hotpath-v2`) in the current directory: the file
 //! accumulates one entry per figure key across runs (and upgrades legacy
-//! v1 files in place) instead of being overwritten.
+//! v1 files in place) instead of being overwritten.  The `wordcount`
+//! sweep takes `--vocab N` (vocabulary size, i.e. distinct words).
 
 use growt_bench::*;
+
+/// Every figure id the harness can regenerate, in `all` execution order.
+const FIGURE_IDS: [&str; 23] = [
+    "table1",
+    "fig2a",
+    "fig2b",
+    "fig3a",
+    "fig3b",
+    "fig4a",
+    "fig4b",
+    "fig5a",
+    "fig5b",
+    "fig6",
+    "fig7a",
+    "fig7b",
+    "fig8a",
+    "fig8b",
+    "fig9a",
+    "fig9b",
+    "fig10",
+    "fig11a",
+    "fig11b",
+    "ablation_block",
+    "ablation_batch",
+    "scaling",
+    "wordcount",
+];
 
 /// Install the tracking allocator so that Fig. 10 can report memory usage.
 #[global_allocator]
@@ -65,6 +93,13 @@ fn parse_args() -> (Vec<String>, HarnessConfig) {
                     .split(',')
                     .map(|s| s.parse().expect("numeric zipf exponent"))
                     .collect();
+            }
+            "--vocab" => {
+                cfg.wordcount_vocab = args
+                    .next()
+                    .expect("--vocab N")
+                    .parse()
+                    .expect("numeric --vocab");
             }
             "--json" => {
                 cfg.json = true;
@@ -130,40 +165,28 @@ fn run(id: &str, cfg: &HarnessConfig) {
             }
             scaling_figure(&points).to_tsv()
         }
-        other => panic!("unknown figure id {other}"),
+        "wordcount" => {
+            let points = wordcount_points(cfg);
+            if cfg.json {
+                let block = wordcount_points_block(cfg, &points);
+                write_hotpath_json("wordcount", &block, points.len());
+            }
+            wordcount_figure(&points).to_tsv()
+        }
+        other => {
+            eprintln!("[figure] unknown figure id `{other}`");
+            eprintln!("[figure] valid ids: {} (or `all`)", FIGURE_IDS.join(", "));
+            std::process::exit(2);
+        }
     };
     println!("{output}");
 }
 
 fn main() {
     let (ids, cfg) = parse_args();
-    let all = [
-        "table1",
-        "fig2a",
-        "fig2b",
-        "fig3a",
-        "fig3b",
-        "fig4a",
-        "fig4b",
-        "fig5a",
-        "fig5b",
-        "fig6",
-        "fig7a",
-        "fig7b",
-        "fig8a",
-        "fig8b",
-        "fig9a",
-        "fig9b",
-        "fig10",
-        "fig11a",
-        "fig11b",
-        "ablation_block",
-        "ablation_batch",
-        "scaling",
-    ];
     for id in &ids {
         if id == "all" {
-            for id in all {
+            for id in FIGURE_IDS {
                 run(id, &cfg);
             }
         } else {

@@ -18,13 +18,17 @@ use growt_baselines::{
     RcuQsbrTable, RcuTable, TbbHashMap, TbbUnorderedMap,
 };
 use growt_core::variants::{UaGrowTsx, UsGrowTsx};
-use growt_core::{Folklore, FolkloreCrc, PaGrow, PsGrow, TsxFolklore, UaGrow, UaGrowCrc, UsGrow};
-use growt_iface::{capability_row, Capabilities, ConcurrentMap};
+use growt_core::{
+    Folklore, FolkloreCrc, GrowingStringTable, PaGrow, PsGrow, StringKeyTable, TsxFolklore, UaGrow,
+    UaGrowCrc, UsGrow,
+};
+use growt_iface::{capability_row, Capabilities, ConcurrentMap, StringMap};
 use growt_seq::{SeqGrowingTable, SeqTable};
 use growt_workloads::{
     aggregate_driver, deletion_driver, deletion_workload, dense_prefill_keys, find_batch_driver,
     find_driver, insert_batch_driver, insert_driver, mixed_driver, mixed_workload, prefill,
-    uniform_distinct_keys, uniform_keys, update_driver, zipf_keys, Figure, Repetitions, Series,
+    uniform_distinct_keys, uniform_keys, update_driver, word_corpus, wordcount_driver, zipf_keys,
+    Figure, Repetitions, Series,
 };
 
 /// Harness configuration (op counts, thread grid, repetitions).
@@ -42,6 +46,10 @@ pub struct HarnessConfig {
     pub write_percents: Vec<u32>,
     /// Thread count used for fixed-p figures (paper: 48).
     pub contention_threads: usize,
+    /// Vocabulary size (distinct words) of the `wordcount` figure.
+    pub wordcount_vocab: usize,
+    /// Zipf exponent of the `wordcount` word stream (natural text ≈ 1).
+    pub wordcount_zipf: f64,
     /// Also write machine-readable JSON output where a figure supports it
     /// (`ablation_batch` → `BENCH_hotpath.json`).
     pub json: bool,
@@ -56,6 +64,8 @@ impl Default for HarnessConfig {
             zipf_s: vec![0.25, 0.5, 0.75, 0.85, 0.95, 1.0, 1.25, 1.5, 2.0],
             write_percents: vec![10, 20, 30, 40, 50, 60, 70, 80],
             contention_threads: 4,
+            wordcount_vocab: 1 << 16,
+            wordcount_zipf: 1.0,
             json: false,
         }
     }
@@ -840,6 +850,101 @@ pub fn scaling_figure(points: &[ScalingPoint]) -> Figure {
 }
 
 // ---------------------------------------------------------------------------
+// Word-count figure (`wordcount`): string-key aggregation throughput on the
+// §5.7 complex-key tables.
+// ---------------------------------------------------------------------------
+
+/// One measured point of the word-count sweep (`wordcount`).
+#[derive(Debug, Clone)]
+pub struct WordCountPoint {
+    /// Table implementation name ("stringGrow" or "stringFolklore").
+    pub table: &'static str,
+    /// Number of driver threads.
+    pub threads: usize,
+    /// Vocabulary size (distinct words).
+    pub vocab: usize,
+    /// Zipf exponent of the word stream.
+    pub zipf: f64,
+    /// Mean aggregation throughput over the repetitions, in MOps/s.
+    pub mops: f64,
+}
+
+fn wordcount_points_for<M: StringMap>(
+    cfg: &HarnessConfig,
+    table: &'static str,
+    capacity: usize,
+    points: &mut Vec<WordCountPoint>,
+) {
+    let vocab = cfg.wordcount_vocab.max(1);
+    for &p in &cfg.threads {
+        let mut reps = Repetitions::new();
+        for rep in 0..cfg.reps {
+            let corpus = word_corpus(cfg.ops, vocab, cfg.wordcount_zipf, 9_000 + rep as u64);
+            let map = M::with_capacity(capacity);
+            reps.push(wordcount_driver(&map, &corpus, p));
+        }
+        points.push(WordCountPoint {
+            table,
+            threads: p,
+            vocab,
+            zipf: cfg.wordcount_zipf,
+            mops: reps.mean_mops(),
+        });
+    }
+}
+
+/// The word-count sweep: `insert_or_add(word, 1)` over a Zipf-distributed
+/// word stream (the aggregation use case of the paper's introduction, on
+/// string keys via §5.7), across the configured thread grid, for the
+/// growing string table (started at the standard tiny initial capacity so
+/// the run crosses several migrations) and the bounded string baseline
+/// (pre-sized to the vocabulary).
+pub fn wordcount_points(cfg: &HarnessConfig) -> Vec<WordCountPoint> {
+    let mut points = Vec::new();
+    wordcount_points_for::<GrowingStringTable>(cfg, "stringGrow", GROWING_INITIAL, &mut points);
+    wordcount_points_for::<StringKeyTable>(
+        cfg,
+        "stringFolklore",
+        cfg.wordcount_vocab.max(1),
+        &mut points,
+    );
+    points
+}
+
+/// Render the word-count sweep as a [`Figure`] (x axis = threads, one
+/// series per table).
+pub fn wordcount_figure(points: &[WordCountPoint]) -> Figure {
+    let mut fig = Figure::new("wordcount-string-aggregation", "threads");
+    for point in points {
+        let label = point.table.to_string();
+        match fig.series.iter_mut().find(|s| s.label == label) {
+            Some(series) => series.push(point.threads as f64, point.mops),
+            None => {
+                let mut series = Series::new(label);
+                series.push(point.threads as f64, point.mops);
+                fig.push(series);
+            }
+        }
+    }
+    fig
+}
+
+/// Serialize a word-count sweep as one figure block for
+/// [`merge_hotpath_json`] (key `wordcount`).
+pub fn wordcount_points_block(cfg: &HarnessConfig, points: &[WordCountPoint]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"table\": \"{}\", \"threads\": {}, \"vocab\": {}, \"zipf\": {}, \"mops\": {:.3}}}",
+                p.table, p.threads, p.vocab, p.zipf, p.mops
+            )
+        })
+        .collect();
+    figure_block_json("wordcount", cfg, &rows)
+}
+
+// ---------------------------------------------------------------------------
 // BENCH_hotpath.json: the accumulated perf-trajectory record
 // ---------------------------------------------------------------------------
 
@@ -1095,6 +1200,8 @@ pub fn smoke_config() -> HarnessConfig {
         zipf_s: vec![0.5, 1.0],
         write_percents: vec![20, 60],
         contention_threads: 2,
+        wordcount_vocab: 500,
+        wordcount_zipf: 1.0,
         json: false,
     }
 }
@@ -1208,6 +1315,46 @@ mod tests {
         let json = merge_hotpath_json(None, "scaling", &scaling_points_block(&cfg, &points));
         assert!(json.contains("\"hash\": \"crc\""));
         assert_eq!(json.matches("{\"table\"").count(), points.len());
+    }
+
+    #[test]
+    fn smoke_wordcount_points_and_json() {
+        let mut cfg = smoke_config();
+        cfg.ops = 10_000;
+        let points = wordcount_points(&cfg);
+        // 2 tables × |threads| points.
+        assert_eq!(points.len(), 2 * cfg.threads.len());
+        assert!(points.iter().all(|p| p.mops > 0.0));
+        assert!(points.iter().all(|p| p.vocab == cfg.wordcount_vocab));
+        for table in ["stringGrow", "stringFolklore"] {
+            assert!(
+                points.iter().any(|p| p.table == table),
+                "missing {table} series"
+            );
+        }
+        let fig = wordcount_figure(&points);
+        assert_eq!(fig.series.len(), 2);
+        assert!(fig
+            .series
+            .iter()
+            .all(|s| s.points.len() == cfg.threads.len()));
+        assert!(fig.to_tsv().contains("stringGrow"));
+        // Merging wordcount into a record that already holds the scaling
+        // figure must keep both figure keys.
+        let scaling = merge_hotpath_json(
+            None,
+            "scaling",
+            &figure_block_json("scaling", &cfg, &["{\"table\": \"folklore\"}".to_string()]),
+        );
+        let merged = merge_hotpath_json(
+            Some(&scaling),
+            "wordcount",
+            &wordcount_points_block(&cfg, &points),
+        );
+        assert!(merged.contains("\"figure\": \"scaling\""));
+        assert!(merged.contains("\"figure\": \"wordcount\""));
+        assert!(merged.contains("\"table\": \"stringFolklore\""));
+        assert_eq!(merged.matches('{').count(), merged.matches('}').count());
     }
 
     #[test]

@@ -30,9 +30,23 @@ pub const BATCH_PIPELINE: usize = 16;
 /// Compute the number of cells for an expected number of elements: the
 /// smallest power of two that is at least twice the expectation
 /// (§7: `2n ≤ size ≤ 4n`).
+///
+/// Saturating at the top of the address space: for
+/// `expected_elements > 2⁶²` the doubled request has no representable
+/// power-of-two ceiling (`next_power_of_two` would panic in debug builds
+/// and wrap to 0 in release builds), so the result clamps to the largest
+/// representable power of two, `2⁶³`.  The `2n ≤ size` headroom guarantee
+/// necessarily no longer holds in that regime — such a table could never
+/// be allocated anyway, but sizing arithmetic (e.g. a growth-factor
+/// multiplication on an already huge capacity) must not panic or wrap.
 pub fn capacity_for(expected_elements: usize) -> usize {
+    const MAX_POW2: usize = 1 << (usize::BITS - 1);
     let min = expected_elements.max(2).saturating_mul(2);
-    min.next_power_of_two()
+    if min > MAX_POW2 {
+        MAX_POW2
+    } else {
+        min.next_power_of_two()
+    }
 }
 
 /// The default hash function of all tables in this crate: the splitmix64 /
@@ -125,6 +139,20 @@ mod tests {
             assert!(c >= 2 * n, "capacity {c} for {n}");
             assert!(c <= 4 * n.max(1), "capacity {c} too large for {n}");
         }
+    }
+
+    #[test]
+    fn capacity_saturates_instead_of_overflowing() {
+        const MAX_POW2: usize = 1 << (usize::BITS - 1);
+        // Largest input whose doubled request still has a representable
+        // power-of-two ceiling.
+        assert_eq!(capacity_for(1 << 62), MAX_POW2);
+        // Beyond it the computation used to panic (debug) or wrap to 0
+        // (release); it must clamp to the largest power of two instead.
+        assert_eq!(capacity_for((1 << 62) + 1), MAX_POW2);
+        assert_eq!(capacity_for(usize::MAX / 2), MAX_POW2);
+        assert_eq!(capacity_for(usize::MAX), MAX_POW2);
+        assert!(capacity_for(usize::MAX).is_power_of_two());
     }
 
     #[test]

@@ -22,7 +22,8 @@
 //!   (hash → prefetch → probe) hot paths;
 //! * [`keyspace`] — restoring the full 64-bit key space (§5.6);
 //! * [`complex`] — complex (non-word) key support via indirection with
-//!   hash signatures (§5.7).
+//!   hash signatures (§5.7): the bounded [`complex::StringKeyTable`]
+//!   baseline and the growing, deleting [`complex::GrowingStringTable`].
 
 #![warn(missing_docs)]
 
@@ -39,6 +40,7 @@ pub mod prefetch;
 pub mod table;
 pub mod variants;
 
+pub use complex::{GrowingStringTable, StringHandle, StringKeyTable};
 pub use config::{capacity_for, GrowConfig, HashSelect};
 pub use grow::{Consistency, GrowHandle, GrowStrategy, GrowingOptions, GrowingTable};
 pub use table::BoundedTable;

@@ -277,6 +277,85 @@ pub trait MapHandle {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Complex (string) keys — paper §5.7
+// ---------------------------------------------------------------------------
+
+/// A concurrent hash map from string keys to word-sized counters
+/// (paper §5.7: complex keys via signature-packed key references).
+///
+/// This is the trait surface behind the word-count/aggregation use case of
+/// the paper's introduction: the key type is `&str`, the value type stays a
+/// machine word so the atomic-update fast paths of the word tables carry
+/// over.  Mirrors [`ConcurrentMap`]: the shared table object is cheap to
+/// share and all operations go through a per-thread
+/// [`StringMap::handle`].
+pub trait StringMap: Send + Sync + Sized + 'static {
+    /// The per-thread handle type.
+    type Handle<'a>: StringMapHandle
+    where
+        Self: 'a;
+
+    /// Create a table able to hold roughly `capacity` string keys (hard
+    /// bound for bounded tables, initial hint for growing ones).
+    fn with_capacity(capacity: usize) -> Self;
+
+    /// Obtain a handle for the calling thread.
+    fn handle(&self) -> Self::Handle<'_>;
+
+    /// Short display name used in figures and tables.
+    fn map_name() -> &'static str;
+
+    /// `true` when the table grows transparently (migrations); bounded
+    /// baselines return `false` and the generic conformance suite skips
+    /// its migration-dependent sections for them.
+    fn growing() -> bool {
+        false
+    }
+}
+
+/// Per-thread access handle of a [`StringMap`].
+///
+/// All methods take `&mut self` for the same reason as [`MapHandle`]: a
+/// handle is owned by one thread and may carry thread-local state
+/// (cached table generations, QSBR participation, buffered counters).
+pub trait StringMapHandle {
+    /// Insert `⟨key, value⟩` if no element with this key is present.
+    /// Returns `true` iff the element was inserted; concurrent inserters
+    /// of the same key see exactly one winner.
+    fn insert(&mut self, key: &str, value: u64) -> bool;
+
+    /// Look up the value stored for `key`.  A value returned for a key is
+    /// always fully published — implementations must never expose the
+    /// transient state of an in-flight insertion.
+    fn find(&mut self, key: &str) -> Option<u64>;
+
+    /// Atomically add `delta` to the value of an existing `key`; returns
+    /// the previous value, or `None` when the key is absent.
+    fn fetch_add(&mut self, key: &str, delta: u64) -> Option<u64>;
+
+    /// Insert `⟨key, delta⟩` or atomically add `delta` to the existing
+    /// value — the word-count primitive.  Returns whether a new element
+    /// was inserted.  No concurrent interleaving may lose a delta.
+    fn insert_or_add(&mut self, key: &str, delta: u64) -> InsertOrUpdate;
+
+    /// Remove the element with `key`.  Returns `true` iff an element was
+    /// removed.  The key's backing allocation is reclaimed through the
+    /// implementation's deferred-reclamation scheme, never while another
+    /// thread may still dereference it.
+    fn erase(&mut self, key: &str) -> bool;
+
+    /// Report a quiescent state: the thread holds no references into the
+    /// table.  QSBR-backed implementations reclaim retired key
+    /// allocations here; the benchmark driver calls it between blocks.
+    fn quiesce(&mut self) {}
+
+    /// Approximate number of live elements.
+    fn size_estimate(&mut self) -> usize {
+        0
+    }
+}
+
 /// Render one [`Capabilities`] record as the seven columns of Table 1.
 pub fn capability_row(c: &Capabilities) -> [String; 7] {
     let growing = match c.growing {
@@ -395,6 +474,86 @@ mod tests {
         let mut h = VecHandle { pairs: Vec::new() };
         let mut out = [None; 2];
         h.find_batch(&[1, 2, 3], &mut out);
+    }
+
+    /// Minimal single-threaded `StringMap` exercising the trait defaults.
+    struct VecStringMap {
+        pairs: std::sync::Mutex<Vec<(String, u64)>>,
+    }
+
+    struct VecStringHandle<'a> {
+        table: &'a VecStringMap,
+    }
+
+    impl StringMap for VecStringMap {
+        type Handle<'a> = VecStringHandle<'a>;
+        fn with_capacity(_capacity: usize) -> Self {
+            VecStringMap {
+                pairs: std::sync::Mutex::new(Vec::new()),
+            }
+        }
+        fn handle(&self) -> VecStringHandle<'_> {
+            VecStringHandle { table: self }
+        }
+        fn map_name() -> &'static str {
+            "vec-string-reference"
+        }
+    }
+
+    impl StringMapHandle for VecStringHandle<'_> {
+        fn insert(&mut self, key: &str, value: u64) -> bool {
+            let mut m = self.table.pairs.lock().unwrap();
+            if m.iter().any(|(k, _)| k == key) {
+                return false;
+            }
+            m.push((key.to_string(), value));
+            true
+        }
+        fn find(&mut self, key: &str) -> Option<u64> {
+            let m = self.table.pairs.lock().unwrap();
+            m.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+        }
+        fn fetch_add(&mut self, key: &str, delta: u64) -> Option<u64> {
+            let mut m = self.table.pairs.lock().unwrap();
+            m.iter_mut().find(|(k, _)| k == key).map(|pair| {
+                let old = pair.1;
+                pair.1 = old.wrapping_add(delta);
+                old
+            })
+        }
+        fn insert_or_add(&mut self, key: &str, delta: u64) -> InsertOrUpdate {
+            if self.fetch_add(key, delta).is_some() {
+                InsertOrUpdate::Updated
+            } else {
+                self.insert(key, delta);
+                InsertOrUpdate::Inserted
+            }
+        }
+        fn erase(&mut self, key: &str) -> bool {
+            let mut m = self.table.pairs.lock().unwrap();
+            let before = m.len();
+            m.retain(|(k, _)| k != key);
+            m.len() != before
+        }
+    }
+
+    #[test]
+    fn string_map_round_trip_and_defaults() {
+        let table = VecStringMap::with_capacity(8);
+        let mut h = table.handle();
+        assert!(!VecStringMap::growing());
+        assert_eq!(VecStringMap::map_name(), "vec-string-reference");
+        assert!(h.insert("alpha", 1));
+        assert!(!h.insert("alpha", 9));
+        assert_eq!(h.find("alpha"), Some(1));
+        assert_eq!(h.fetch_add("alpha", 4), Some(1));
+        assert!(!h.insert_or_add("alpha", 5).inserted());
+        assert!(h.insert_or_add("beta", 2).inserted());
+        assert_eq!(h.find("alpha"), Some(10));
+        assert!(h.erase("alpha"));
+        assert!(!h.erase("alpha"));
+        h.quiesce();
+        assert_eq!(h.size_estimate(), 0);
     }
 
     #[test]

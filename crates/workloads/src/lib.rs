@@ -11,6 +11,8 @@
 //! * [`zipf`] — Zipf(s) samplers for the contention benchmarks;
 //! * [`keys`] — pre-generated key sets for every benchmark (uniform,
 //!   skewed, mixed, sliding-window deletions);
+//! * [`words`] — Zipf-distributed synthetic text over a configurable
+//!   vocabulary for the word-count workload (§5.7 complex keys);
 //! * [`scheduler`] — the shared block-of-4096 work-dealing counter;
 //! * [`driver`] — the generic multi-threaded measurement loop;
 //! * [`stats`] — timing, repetition averaging and figure/TSV output.
@@ -23,12 +25,13 @@ pub mod keys;
 pub mod mt64;
 pub mod scheduler;
 pub mod stats;
+pub mod words;
 pub mod zipf;
 
 pub use driver::{
     aggregate_driver, deletion_driver, erase_batch_driver, find_batch_driver, find_driver,
     insert_batch_driver, insert_driver, mixed_driver, prefill, run_parallel, run_parallel_batched,
-    update_batch_driver, update_driver,
+    run_parallel_strings, update_batch_driver, update_driver, wordcount_driver,
 };
 pub use hash::{crc32c_hw_available, crc32c_u64, crc32c_u64_sw, crc64_pair, mix64, HashKind};
 pub use keys::{
@@ -38,4 +41,5 @@ pub use keys::{
 pub use mt64::{Mt64, SplitMix64};
 pub use scheduler::BlockScheduler;
 pub use stats::{Figure, Measurement, Repetitions, Series};
+pub use words::{word_corpus, word_vocabulary, WordCorpus};
 pub use zipf::{top_key_probability, ZipfSampler};

@@ -50,14 +50,18 @@ pub mod prelude {
         RcuQsbrTable, RcuTable, TbbHashMap, TbbUnorderedMap,
     };
     pub use growt_core::{
-        Folklore, FolkloreCrc, GrowingOptions, GrowingTable, HashSelect, PaGrow, PsGrow,
-        TsxFolklore, UaGrow, UaGrowCrc, UsGrow,
+        Folklore, FolkloreCrc, GrowingOptions, GrowingStringTable, GrowingTable, HashSelect,
+        PaGrow, PsGrow, StringKeyTable, TsxFolklore, UaGrow, UaGrowCrc, UsGrow,
     };
-    pub use growt_iface::{Capabilities, ConcurrentMap, GrowthSupport, InsertOrUpdate, MapHandle};
+    pub use growt_iface::{
+        Capabilities, ConcurrentMap, GrowthSupport, InsertOrUpdate, MapHandle, StringMap,
+        StringMapHandle,
+    };
     pub use growt_seq::{SeqGrowingTable, SeqTable};
     pub use growt_workloads::{
         aggregate_driver, deletion_driver, erase_batch_driver, find_batch_driver, find_driver,
         insert_batch_driver, insert_driver, mixed_driver, prefill, uniform_distinct_keys,
-        update_batch_driver, zipf_keys, Mt64, ZipfSampler,
+        update_batch_driver, word_corpus, word_vocabulary, wordcount_driver, zipf_keys, Mt64,
+        WordCorpus, ZipfSampler,
     };
 }
