@@ -9,9 +9,10 @@
 //! `<id>` is one of: `table1`, `fig2a`, `fig2b`, `fig3a`, `fig3b`, `fig4a`,
 //! `fig4b`, `fig5a`, `fig5b`, `fig6`, `fig7a`, `fig7b`, `fig8a`, `fig8b`,
 //! `fig9a`, `fig9b`, `fig10`, `fig11a`, `fig11b`, `ablation_block`,
-//! `ablation_batch`, `scaling`, `wordcount`, or `all`.  Output is TSV on
-//! stdout (one block per figure).  With `--json`, `ablation_batch`,
-//! `scaling` and `wordcount` additionally merge their results into the
+//! `ablation_batch`, `ablation_probe`, `scaling`, `wordcount`, or `all`.
+//! Output is TSV on stdout (one block per figure).  With `--json`,
+//! `ablation_batch`, `ablation_probe`, `scaling` and `wordcount`
+//! additionally merge their results into the
 //! machine-readable perf-trajectory record `BENCH_hotpath.json` (schema
 //! `growt-bench/hotpath-v2`) in the current directory: the file
 //! accumulates one entry per figure key across runs (and upgrades legacy
@@ -21,7 +22,7 @@
 use growt_bench::*;
 
 /// Every figure id the harness can regenerate, in `all` execution order.
-const FIGURE_IDS: [&str; 23] = [
+const FIGURE_IDS: [&str; 24] = [
     "table1",
     "fig2a",
     "fig2b",
@@ -43,6 +44,7 @@ const FIGURE_IDS: [&str; 23] = [
     "fig11b",
     "ablation_block",
     "ablation_batch",
+    "ablation_probe",
     "scaling",
     "wordcount",
 ];
@@ -156,6 +158,14 @@ fn run(id: &str, cfg: &HarnessConfig) {
                 write_hotpath_json("ablation_batch", &block, points.len());
             }
             batch_points_figure(&points).to_tsv()
+        }
+        "ablation_probe" => {
+            let points = ablation_probe_points(cfg);
+            if cfg.json {
+                let block = probe_points_block(cfg, &points);
+                write_hotpath_json("ablation_probe", &block, points.len());
+            }
+            probe_points_figure(&points).to_tsv()
         }
         "scaling" => {
             let points = scaling_points(cfg);

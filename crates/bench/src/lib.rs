@@ -19,8 +19,8 @@ use growt_baselines::{
 };
 use growt_core::variants::{UaGrowTsx, UsGrowTsx};
 use growt_core::{
-    Folklore, FolkloreCrc, GrowingStringTable, PaGrow, PsGrow, StringKeyTable, TsxFolklore, UaGrow,
-    UaGrowCrc, UsGrow,
+    Folklore, FolkloreCrc, FolkloreSimd, GrowingStringTable, PaGrow, PsGrow, StringKeyTable,
+    TsxFolklore, UaGrow, UaGrowCrc, UaGrowSimd, UsGrow,
 };
 use growt_iface::{capability_row, Capabilities, ConcurrentMap, StringMap};
 use growt_seq::{SeqGrowingTable, SeqTable};
@@ -741,11 +741,15 @@ fn batch_points_for<M: ConcurrentMap>(cfg: &HarnessConfig, points: &mut Vec<Batc
 ///
 /// Sweeps the batch size K over [`BATCH_SIZES`] for insertions into and
 /// finds on a pre-initialized table, for the folklore table and the
-/// default growing variant, across the configured thread grid.
+/// default growing variant — each on both probe strategies (scalar linear
+/// probe and the striped SIMD fingerprint probe) — across the configured
+/// thread grid.
 pub fn ablation_batch_points(cfg: &HarnessConfig) -> Vec<BatchPoint> {
     let mut points = Vec::new();
     batch_points_for::<Folklore>(cfg, &mut points);
+    batch_points_for::<FolkloreSimd>(cfg, &mut points);
     batch_points_for::<UaGrow>(cfg, &mut points);
+    batch_points_for::<UaGrowSimd>(cfg, &mut points);
     points
 }
 
@@ -779,8 +783,8 @@ pub const SCALING_BATCH: usize = 16;
 /// One measured point of the thread-scaling sweep (`scaling`).
 #[derive(Debug, Clone)]
 pub struct ScalingPoint {
-    /// Base table name ("folklore" or "uaGrow"); the hash path is recorded
-    /// separately in `hash`.
+    /// Base table name ("folklore", "folklore-simd", "uaGrow" or
+    /// "uaGrow-simd"); the hash path is recorded separately in `hash`.
     pub table: &'static str,
     /// Operation: "insert" or "find".
     pub op: &'static str,
@@ -816,15 +820,19 @@ fn scaling_points_for<M: ConcurrentMap>(
 /// The thread-scaling sweep: insertions into and finds on a pre-sized
 /// table for the folklore table and the default growing variant, per-op
 /// (K = 1) and pipelined (K = [`SCALING_BATCH`]), on both hash paths
-/// (splitmix64 and the paper's CRC32-C pair), across the configured thread
-/// grid.  This is the trajectory record for the zero-shared-traffic handle
-/// prologue: per-op throughput must now move with the thread count.
+/// (splitmix64 and the paper's CRC32-C pair) and on the striped SIMD
+/// fingerprint probe (`*-simd`, splitmix64 hashing), across the
+/// configured thread grid.  This is the trajectory record for the
+/// zero-shared-traffic handle prologue and the striped probe: per-op
+/// throughput must move with the thread count.
 pub fn scaling_points(cfg: &HarnessConfig) -> Vec<ScalingPoint> {
     let mut points = Vec::new();
     scaling_points_for::<Folklore>(cfg, "folklore", "mix", &mut points);
     scaling_points_for::<FolkloreCrc>(cfg, "folklore", "crc", &mut points);
+    scaling_points_for::<FolkloreSimd>(cfg, "folklore-simd", "mix", &mut points);
     scaling_points_for::<UaGrow>(cfg, "uaGrow", "mix", &mut points);
     scaling_points_for::<UaGrowCrc>(cfg, "uaGrow", "crc", &mut points);
+    scaling_points_for::<UaGrowSimd>(cfg, "uaGrow-simd", "mix", &mut points);
     points
 }
 
@@ -837,6 +845,101 @@ pub fn scaling_figure(points: &[ScalingPoint]) -> Figure {
             "{} {} {} K={}",
             point.table, point.op, point.hash, point.batch
         );
+        match fig.series.iter_mut().find(|s| s.label == label) {
+            Some(series) => series.push(point.threads as f64, point.mops),
+            None => {
+                let mut series = Series::new(label);
+                series.push(point.threads as f64, point.mops);
+                fig.push(series);
+            }
+        }
+    }
+    fig
+}
+
+// ---------------------------------------------------------------------------
+// Probe-regime figure (`ablation_probe`): scalar vs. striped SIMD probing
+// across load factors, on find-hit and find-miss key streams.
+// ---------------------------------------------------------------------------
+
+/// Load factors α swept by [`ablation_probe_points`].
+pub const PROBE_LOADS: [f64; 3] = [0.5, 0.75, 0.9];
+
+/// Cell count of the bounded tables of the `ablation_probe` sweep.  Fixed
+/// (rather than derived from `--ops`) so the swept load factors are exact;
+/// large enough that the cell array does not fit in L2, small enough that
+/// the α = 0.9 prefill stays cheap.
+pub const PROBE_CAPACITY: usize = 1 << 18;
+
+/// One measured point of the probe-regime sweep (`ablation_probe`).
+#[derive(Debug, Clone)]
+pub struct ProbePoint {
+    /// Table implementation name ("folklore" or "folklore-simd").
+    pub table: &'static str,
+    /// Operation: "find_hit" (every looked-up key is resident) or
+    /// "find_miss" (none is).
+    pub op: &'static str,
+    /// Load factor α of the probed table (live cells / capacity).
+    pub load: f64,
+    /// Number of driver threads.
+    pub threads: usize,
+    /// Mean throughput over the repetitions, in MOps/s.
+    pub mops: f64,
+}
+
+fn probe_points_for<M: ConcurrentMap>(cfg: &HarnessConfig, points: &mut Vec<ProbePoint>) {
+    for &load in &PROBE_LOADS {
+        let live = (load * PROBE_CAPACITY as f64) as usize;
+        let keys = uniform_distinct_keys(live, 1000);
+        // `with_capacity(n)` sizes for n expected elements (2n cells
+        // rounded up to a power of two), so half the target cell count
+        // yields exactly [`PROBE_CAPACITY`] cells.
+        let table = M::with_capacity(PROBE_CAPACITY / 2);
+        prefill_for::<M>(&table, &keys);
+        // Both lookup streams are cfg.ops long: hits cycle the resident
+        // keys, misses draw fresh uniform keys (a collision with the
+        // resident set in a 2^64 key space is negligible).
+        let hits: Vec<u64> = keys.iter().copied().cycle().take(cfg.ops).collect();
+        let misses = uniform_keys(cfg.ops, 999_999);
+        for &p in &cfg.threads {
+            let p_eff = effective_threads::<M>(p);
+            for (op, stream) in [("find_hit", &hits), ("find_miss", &misses)] {
+                let mut reps = Repetitions::new();
+                for _ in 0..cfg.reps {
+                    reps.push(find_driver(&table, stream, p_eff));
+                }
+                points.push(ProbePoint {
+                    table: M::table_name(),
+                    op,
+                    load,
+                    threads: p,
+                    mops: reps.mean_mops(),
+                });
+            }
+        }
+    }
+}
+
+/// The probe-regime sweep: finds on a fixed-capacity folklore table at
+/// the [`PROBE_LOADS`] load factors, with all-resident (`find_hit`) and
+/// all-absent (`find_miss`) key streams, scalar vs. striped SIMD probe,
+/// across the configured thread grid.  This isolates the regime the
+/// signature stripe is built for — long probe runs, where one 16-byte
+/// fingerprint comparison replaces up to sixteen cell-line touches —
+/// which the half-full all-resident `scaling` sweep never enters.
+pub fn ablation_probe_points(cfg: &HarnessConfig) -> Vec<ProbePoint> {
+    let mut points = Vec::new();
+    probe_points_for::<Folklore>(cfg, &mut points);
+    probe_points_for::<FolkloreSimd>(cfg, &mut points);
+    points
+}
+
+/// Render the probe sweep as a [`Figure`] (x axis = threads, one series
+/// per table × operation × load factor).
+pub fn probe_points_figure(points: &[ProbePoint]) -> Figure {
+    let mut fig = Figure::new("ablation-probe-regimes", "threads");
+    for point in points {
+        let label = format!("{} {} load={}", point.table, point.op, point.load);
         match fig.series.iter_mut().find(|s| s.label == label) {
             Some(series) => series.push(point.threads as f64, point.mops),
             None => {
@@ -977,6 +1080,21 @@ pub fn batch_points_block(cfg: &HarnessConfig, points: &[BatchPoint]) -> String 
         })
         .collect();
     figure_block_json("ablation_batch", cfg, &rows)
+}
+
+/// Serialize a probe-regime sweep as one figure block for
+/// [`merge_hotpath_json`] (key `ablation_probe`).
+pub fn probe_points_block(cfg: &HarnessConfig, points: &[ProbePoint]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"table\": \"{}\", \"op\": \"{}\", \"load\": {}, \"threads\": {}, \"mops\": {:.3}}}",
+                p.table, p.op, p.load, p.threads, p.mops
+            )
+        })
+        .collect();
+    figure_block_json("ablation_probe", cfg, &rows)
 }
 
 /// Serialize a scaling sweep as one figure block for
@@ -1269,11 +1387,14 @@ mod tests {
         let mut cfg = smoke_config();
         cfg.ops = 10_000;
         let points = ablation_batch_points(&cfg);
-        // 2 tables × 2 ops × |threads| × |BATCH_SIZES| points.
-        assert_eq!(points.len(), 2 * 2 * cfg.threads.len() * BATCH_SIZES.len());
+        // 4 tables (scalar + simd probes) × 2 ops × |threads| ×
+        // |BATCH_SIZES| points.
+        assert_eq!(points.len(), 4 * 2 * cfg.threads.len() * BATCH_SIZES.len());
         assert!(points.iter().all(|p| p.mops > 0.0));
+        assert!(points.iter().any(|p| p.table == "folklore-simd"));
+        assert!(points.iter().any(|p| p.table == "uaGrow-simd"));
         let fig = batch_points_figure(&points);
-        assert_eq!(fig.series.len(), 2 * 2 * cfg.threads.len());
+        assert_eq!(fig.series.len(), 4 * 2 * cfg.threads.len());
         assert!(fig
             .series
             .iter()
@@ -1294,8 +1415,9 @@ mod tests {
         let mut cfg = smoke_config();
         cfg.ops = 10_000;
         let points = scaling_points(&cfg);
-        // 2 tables × 2 hashes × 2 ops × |threads| × 2 batch sizes.
-        assert_eq!(points.len(), 2 * 2 * 2 * cfg.threads.len() * 2);
+        // 6 table instantiations (2 tables × {mix, crc} hashing + the two
+        // -simd probes) × 2 ops × |threads| × 2 batch sizes.
+        assert_eq!(points.len(), 6 * 2 * cfg.threads.len() * 2);
         assert!(points.iter().all(|p| p.mops > 0.0));
         for hash in ["mix", "crc"] {
             for table in ["folklore", "uaGrow"] {
@@ -1305,8 +1427,16 @@ mod tests {
                 );
             }
         }
+        // The striped-probe series hash with the default mixer only.
+        for table in ["folklore-simd", "uaGrow-simd"] {
+            assert!(
+                points.iter().any(|p| p.table == table && p.hash == "mix"),
+                "missing {table} series"
+            );
+            assert!(!points.iter().any(|p| p.table == table && p.hash == "crc"));
+        }
         let fig = scaling_figure(&points);
-        assert_eq!(fig.series.len(), 2 * 2 * 2 * 2);
+        assert_eq!(fig.series.len(), 6 * 2 * 2);
         assert!(fig
             .series
             .iter()
@@ -1314,6 +1444,38 @@ mod tests {
         assert!(fig.to_tsv().contains("folklore find crc K=16"));
         let json = merge_hotpath_json(None, "scaling", &scaling_points_block(&cfg, &points));
         assert!(json.contains("\"hash\": \"crc\""));
+        assert_eq!(json.matches("{\"table\"").count(), points.len());
+    }
+
+    #[test]
+    fn smoke_ablation_probe_points_and_json() {
+        let mut cfg = smoke_config();
+        cfg.ops = 10_000;
+        let points = ablation_probe_points(&cfg);
+        // 2 tables × |PROBE_LOADS| × |threads| × {find_hit, find_miss}.
+        assert_eq!(points.len(), 2 * PROBE_LOADS.len() * cfg.threads.len() * 2);
+        assert!(points.iter().all(|p| p.mops > 0.0));
+        for table in ["folklore", "folklore-simd"] {
+            for op in ["find_hit", "find_miss"] {
+                assert!(
+                    points.iter().any(|p| p.table == table && p.op == op),
+                    "missing {table}/{op} series"
+                );
+            }
+        }
+        assert!(points.iter().any(|p| p.load == 0.9));
+        let fig = probe_points_figure(&points);
+        assert_eq!(fig.series.len(), 2 * PROBE_LOADS.len() * 2);
+        assert!(fig
+            .series
+            .iter()
+            .all(|s| s.points.len() == cfg.threads.len()));
+        assert!(fig.to_tsv().contains("folklore-simd find_miss load=0.9"));
+        let json = merge_hotpath_json(None, "ablation_probe", &probe_points_block(&cfg, &points));
+        assert!(json.contains("\"figure\": \"ablation_probe\""));
+        assert!(json.contains("\"op\": \"find_miss\""));
+        assert!(json.contains("\"load\": 0.9"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches("{\"table\"").count(), points.len());
     }
 
@@ -1431,6 +1593,39 @@ mod tests {
         let refilled = merge_hotpath_json(Some(empty), "scaling", "    {\"figure\": \"scaling\"}");
         assert!(refilled.contains("\"figure\": \"scaling\""));
         assert_eq!(refilled.matches("\"figure\":").count(), 1);
+    }
+
+    #[test]
+    fn hotpath_merge_preserves_checked_in_figure_keys() {
+        // The repository's recorded perf trajectory: merging any one figure
+        // into it must keep every other recorded figure key intact (the
+        // contract each re-recording run relies on).
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
+        let existing = match std::fs::read_to_string(path) {
+            Ok(s) if !s.trim().is_empty() => s,
+            _ => return, // no recorded trajectory yet (fresh checkout)
+        };
+        let cfg = smoke_config();
+        let point = ScalingPoint {
+            table: "folklore-simd",
+            op: "find",
+            hash: "mix",
+            threads: 4,
+            batch: 1,
+            mops: 1.0,
+        };
+        let merged = merge_hotpath_json(
+            Some(&existing),
+            "scaling",
+            &scaling_points_block(&cfg, std::slice::from_ref(&point)),
+        );
+        for (key, _) in extract_figure_blocks(&existing).expect("checked-in record parses") {
+            assert!(
+                merged.contains(&format!("\"figure\": \"{key}\"")),
+                "figure key {key} lost by merge"
+            );
+        }
+        assert_eq!(merged.matches('{').count(), merged.matches('}').count());
     }
 
     #[test]

@@ -58,10 +58,14 @@ struct StringCell {
     value: AtomicU64,
 }
 
+// SAFETY: all-zero bytes are `keyref == EMPTY` (0) and value 0 — exactly
+// the never-used cell state `with_capacity` used to construct per cell.
+unsafe impl crate::mem::ZeroInit for StringCell {}
+
 /// A bounded concurrent hash map from string keys to `u64` values
 /// (paper §5.7 over the folklore table of §4).
 pub struct StringKeyTable {
-    cells: Box<[StringCell]>,
+    cells: crate::mem::HugeBox<StringCell>,
     capacity: usize,
     /// Key allocations of tombstoned cells; freed on drop.
     deferred: Mutex<Vec<*const u8>>,
@@ -72,12 +76,7 @@ impl StringKeyTable {
     pub fn with_capacity(expected_elements: usize) -> Self {
         let capacity = capacity_for(expected_elements.max(2));
         StringKeyTable {
-            cells: (0..capacity)
-                .map(|_| StringCell {
-                    keyref: AtomicU64::new(EMPTY),
-                    value: AtomicU64::new(0),
-                })
-                .collect(),
+            cells: crate::mem::HugeBox::zeroed(capacity),
             capacity,
             deferred: Mutex::new(Vec::new()),
         }

@@ -56,7 +56,7 @@ fn is_packed(keyword: u64) -> bool {
 /// allocations (they outlive generations); the subsystem frees live keys
 /// when the whole table drops and erased keys through the QSBR domain.
 struct StringArray {
-    cells: Box<[Cell]>,
+    cells: crate::mem::HugeBox<Cell>,
     capacity: usize,
     version: u64,
 }
@@ -88,7 +88,9 @@ impl StringArray {
     fn new(capacity: usize, version: u64) -> Self {
         assert!(capacity.is_power_of_two());
         StringArray {
-            cells: (0..capacity).map(|_| Cell::new()).collect(),
+            // Zeroed cells are `Cell::new()` (EMPTY_KEY, value 0);
+            // hugepage-backed once the generation reaches 2 MiB.
+            cells: crate::mem::HugeBox::zeroed(capacity),
             capacity,
             version,
         }

@@ -90,6 +90,24 @@ impl HashSelect {
     }
 }
 
+/// Which probe kernel a table instance uses.
+///
+/// Like [`HashSelect`] the selection is **per table** so benchmarks can
+/// measure both paths side by side, and all generations of one growing
+/// table inherit it.  [`ProbeSelect::Simd`] attaches a signature metadata
+/// stripe (see [`crate::simd`]) to the table and probes 16 cells per
+/// compare; the kernel degrades from SSE2 to the portable SWAR matcher
+/// when SSE2 is unavailable or `GROWT_NO_SIMD` is set, and a table whose
+/// capacity is below one probe group keeps the scalar loop until it grows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProbeSelect {
+    /// The scalar probe loop over the cell array (default).
+    #[default]
+    Scalar,
+    /// Group probing over the signature stripe (SSE2 or SWAR).
+    Simd,
+}
+
 /// Map a full-width hash value to a cell index of a table with `capacity`
 /// cells using the *scaling* function of §5.3.1:
 /// `h_c(x) = ⌊h(x) · c / U⌋` with `U = 2⁶⁴`.

@@ -70,18 +70,12 @@ unsafe fn crc32c_u64_hw(seed: u32, x: u64) -> u32 {
 }
 
 /// `true` when the hardware CRC32-C instruction (SSE4.2) can be used on
-/// this CPU.  The check is a cached atomic load (std feature detection),
-/// or constant-folded to `true` when the build enables the feature.
+/// this CPU.  Delegates to the shared feature cache of [`crate::cpu`]
+/// (one relaxed load per call), which also honours the `GROWT_NO_SIMD`
+/// override so the table-driven port can be forced for testing.
 #[inline]
 pub fn crc32c_hw_available() -> bool {
-    #[cfg(target_arch = "x86_64")]
-    {
-        std::arch::is_x86_feature_detected!("sse4.2")
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    {
-        false
-    }
+    crate::cpu::has_sse42()
 }
 
 /// CRC32-C over the 8 bytes of `x` starting from `seed`: the hardware

@@ -30,7 +30,7 @@ use growt_reclaim::{CachedArc, VersionedArc};
 use parking_lot::Mutex;
 
 use crate::cell::MAX_MARKABLE_KEY;
-use crate::config::{capacity_for, GrowConfig, HashSelect};
+use crate::config::{capacity_for, GrowConfig, HashSelect, ProbeSelect};
 use crate::count::{GlobalCount, LocalCount};
 use crate::migrate::{migrate_block_exclusive, migrate_block_marking, migrate_block_rehash};
 use crate::table::{BoundedTable, EraseOutcome, InsertOutcome, UpdateOutcome, UpsertOutcome};
@@ -75,6 +75,10 @@ pub struct GrowingOptions {
     /// generation (default: the splitmix64 mixer; [`HashSelect::Crc`]
     /// selects the paper's hardware CRC32-C pair, §8.3).
     pub hash: HashSelect,
+    /// Probe strategy of every table generation
+    /// ([`ProbeSelect::Simd`] maintains a signature stripe and matches
+    /// 16 fingerprints per probe step).
+    pub probe: ProbeSelect,
 }
 
 impl Default for GrowingOptions {
@@ -88,6 +92,7 @@ impl Default for GrowingOptions {
                 .unwrap_or(4),
             use_htm: false,
             hash: HashSelect::default(),
+            probe: ProbeSelect::default(),
         }
     }
 }
@@ -190,7 +195,12 @@ impl GrowingTable {
             .use_htm
             .then(|| growt_htm::HtmDomain::new((capacity / 4).max(64)));
         let inner = Arc::new(Inner {
-            current: VersionedArc::new(BoundedTable::with_cells_hashed(capacity, 1, options.hash)),
+            current: VersionedArc::new(BoundedTable::with_cells_configured(
+                capacity,
+                1,
+                options.hash,
+                options.probe,
+            )),
             counts: GlobalCount::new(),
             coordinator: Coordinator {
                 state: AtomicU64::new(STATE_IDLE),
@@ -380,10 +390,11 @@ impl Inner {
 
         let block_size = self.options.grow.migration_block;
         let total_blocks = old_capacity.div_ceil(block_size);
-        let target = Arc::new(BoundedTable::with_cells_hashed(
+        let target = Arc::new(BoundedTable::with_cells_configured(
             new_capacity,
             version + 1,
             source.hash_select(),
+            source.probe_select(),
         ));
         let job = Arc::new(MigrationJob {
             source,

@@ -32,16 +32,22 @@ pub mod cell;
 pub mod complex;
 pub mod config;
 pub mod count;
+pub mod cpu;
 pub mod crc;
 pub mod grow;
 pub mod keyspace;
+pub mod mem;
 pub mod migrate;
 pub mod prefetch;
+pub mod simd;
 pub mod table;
 pub mod variants;
 
 pub use complex::{GrowingStringTable, StringHandle, StringKeyTable};
-pub use config::{capacity_for, GrowConfig, HashSelect};
+pub use config::{capacity_for, GrowConfig, HashSelect, ProbeSelect};
 pub use grow::{Consistency, GrowHandle, GrowStrategy, GrowingOptions, GrowingTable};
 pub use table::BoundedTable;
-pub use variants::{Folklore, FolkloreCrc, PaGrow, PsGrow, TsxFolklore, UaGrow, UaGrowCrc, UsGrow};
+pub use variants::{
+    Folklore, FolkloreCrc, FolkloreSimd, PaGrow, PsGrow, TsxFolklore, UaGrow, UaGrowCrc,
+    UaGrowSimd, UsGrow,
+};

@@ -1,0 +1,376 @@
+//! Backing storage for the big flat arrays of the tables (cell arrays and
+//! the signature stripe): 2 MB-hugepage-hinted anonymous mappings with a
+//! graceful fallback to the global allocator.
+//!
+//! The paper's tables are GB-scale flat arrays probed at random positions,
+//! which makes them worst-case inputs for a 4 KB TLB: with base pages a
+//! 32 MB cell array spans 8192 TLB entries, so nearly every probe pays a
+//! page walk on top of its cache miss.  [`HugeBox`] therefore backs any
+//! allocation of at least [`HUGEPAGE_THRESHOLD`] bytes with a fresh
+//! anonymous `mmap` and hints it with `madvise(MADV_HUGEPAGE)`, letting
+//! the kernel promote the range to 2 MB pages where transparent huge
+//! pages are enabled.  Anonymous mappings are delivered pre-zeroed, which
+//! also makes allocation O(1) in the array length: no element-wise
+//! construction loop runs for table generations, the dominant allocation
+//! of every growing migration.
+//!
+//! Fallback matrix (every step degrades gracefully, never fails):
+//!
+//! | condition                                   | behaviour                     |
+//! |---------------------------------------------|-------------------------------|
+//! | allocation < 2 MB                           | global allocator (zeroed)     |
+//! | not Linux/x86-64                             | global allocator (zeroed)     |
+//! | `GROWT_NO_HUGEPAGES` set in the environment | global allocator (zeroed)     |
+//! | `mmap` fails (e.g. overcommit limit)        | global allocator (zeroed)     |
+//! | `madvise` fails (THP disabled)              | keep the mapping, plain pages |
+//! | `mbind` fails / single node / > 64 nodes    | keep the mapping, no policy   |
+//!
+//! With the `numa-interleave` cargo feature the mapping is additionally
+//! bound with `mbind(MPOL_INTERLEAVE)` across all online NUMA nodes, so
+//! the random-access cell array spreads its pages (and therefore its
+//! memory-controller load) over every socket instead of faulting them all
+//! on the first-touch node.  The container this crate is usually built in
+//! has no `libc` crate, so the three system calls are issued directly
+//! (`syscall` instruction); on other platforms the code compiles to the
+//! plain-allocator path.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ops::Deref;
+use std::ptr::NonNull;
+
+/// Minimum allocation size (in bytes) that is backed by a hugepage-hinted
+/// mapping: the x86-64 huge page size.  Below it a mapping could never be
+/// promoted, so the global allocator is used directly.
+pub const HUGEPAGE_THRESHOLD: usize = 2 * 1024 * 1024;
+
+/// Marker for element types whose all-zero byte pattern is a valid,
+/// initialized instance (atomics over integers, plain integers, and
+/// structs thereof).  [`HugeBox::zeroed`] relies on this to hand out
+/// `mmap`-zeroed (or `alloc_zeroed`) memory without running per-element
+/// constructors.
+///
+/// # Safety
+///
+/// Implementors must guarantee that the all-zero bit pattern is a valid
+/// value of `Self` and that `Self` has no drop glue.
+pub unsafe trait ZeroInit {}
+
+// SAFETY: integer atomics are repr(transparent) over their integer and
+// zero is a valid value; none has drop glue.
+unsafe impl ZeroInit for std::sync::atomic::AtomicU8 {}
+unsafe impl ZeroInit for std::sync::atomic::AtomicU64 {}
+unsafe impl ZeroInit for u8 {}
+unsafe impl ZeroInit for u64 {}
+
+// SAFETY: a zeroed cell is exactly `Cell::new()` — EMPTY_KEY is 0 and the
+// value word starts at 0; the atomics have no drop glue.
+unsafe impl ZeroInit for crate::cell::Cell {}
+
+/// `true` when hugepage-hinted mappings are disabled for this process via
+/// the `GROWT_NO_HUGEPAGES` environment variable (read once).
+fn hugepages_disabled() -> bool {
+    use std::sync::OnceLock;
+    static DISABLED: OnceLock<bool> = OnceLock::new();
+    *DISABLED.get_or_init(|| std::env::var_os("GROWT_NO_HUGEPAGES").is_some())
+}
+
+/// An owned, fixed-length slice allocated through the hugepage-aware
+/// policy above.  Dereferences to `[T]`; the backing storage is either an
+/// anonymous mapping (≥ [`HUGEPAGE_THRESHOLD`], Linux/x86-64) or a global
+/// allocator block, and is released on drop.
+pub struct HugeBox<T> {
+    ptr: NonNull<T>,
+    len: usize,
+    /// Length in bytes of the `mmap` backing; 0 when the global allocator
+    /// (or no storage at all, for `len == 0`) backs the slice.
+    mapped_bytes: usize,
+}
+
+// SAFETY: HugeBox owns its storage exclusively; sharing semantics are
+// exactly those of Box<[T]>.
+unsafe impl<T: Send> Send for HugeBox<T> {}
+unsafe impl<T: Sync> Sync for HugeBox<T> {}
+
+impl<T: ZeroInit> HugeBox<T> {
+    /// Allocate a zero-initialized slice of `len` elements.
+    pub fn zeroed(len: usize) -> Self {
+        let layout = Layout::array::<T>(len).expect("allocation size overflow");
+        assert!(
+            layout.align() <= 4096,
+            "HugeBox element alignment exceeds the page size"
+        );
+        if layout.size() == 0 {
+            return HugeBox {
+                ptr: NonNull::dangling(),
+                len,
+                mapped_bytes: 0,
+            };
+        }
+        if layout.size() >= HUGEPAGE_THRESHOLD && !hugepages_disabled() {
+            // Round the mapping up to whole huge pages: a 2 MB-aligned
+            // length is what khugepaged can actually collapse.
+            let mapped_bytes = layout.size().div_ceil(HUGEPAGE_THRESHOLD) * HUGEPAGE_THRESHOLD;
+            if let Some(ptr) = sys::map_hugepage_hinted(mapped_bytes) {
+                return HugeBox {
+                    ptr: ptr.cast(),
+                    len,
+                    mapped_bytes,
+                };
+            }
+        }
+        // SAFETY: layout has non-zero size; ZeroInit guarantees the zeroed
+        // block is a valid [T; len].
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw.cast::<T>()) else {
+            handle_alloc_error(layout)
+        };
+        HugeBox {
+            ptr,
+            len,
+            mapped_bytes: 0,
+        }
+    }
+
+    /// `true` when the slice is backed by a hugepage-hinted mapping (used
+    /// by tests and diagnostics).
+    pub fn is_mapped(&self) -> bool {
+        self.mapped_bytes != 0
+    }
+}
+
+impl<T> Deref for HugeBox<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        // SAFETY: ptr/len describe the owned, initialized allocation.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl<T> Drop for HugeBox<T> {
+    fn drop(&mut self) {
+        if self.mapped_bytes != 0 {
+            sys::unmap(self.ptr.cast(), self.mapped_bytes);
+        } else if self.len != 0 && std::mem::size_of::<T>() != 0 {
+            let layout = Layout::array::<T>(self.len).expect("layout re-derivation");
+            // SAFETY: allocated with alloc_zeroed and this exact layout.
+            unsafe { dealloc(self.ptr.as_ptr().cast(), layout) };
+        }
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod sys {
+    //! Raw Linux x86-64 system calls (no `libc` in the dependency tree).
+
+    use std::ptr::NonNull;
+
+    const SYS_MMAP: usize = 9;
+    const SYS_MUNMAP: usize = 11;
+    const SYS_MADVISE: usize = 28;
+    #[cfg(feature = "numa-interleave")]
+    const SYS_MBIND: usize = 237;
+
+    const PROT_READ_WRITE: usize = 0x3;
+    /// `MAP_PRIVATE | MAP_ANONYMOUS`.
+    const MAP_PRIVATE_ANON: usize = 0x22;
+    const MADV_HUGEPAGE: usize = 14;
+
+    /// Issue a raw system call with up to six arguments.
+    ///
+    /// # Safety
+    ///
+    /// The caller must pass arguments valid for the requested syscall.
+    unsafe fn syscall6(
+        nr: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret: isize;
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") nr => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            in("r9") a6,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    /// Map `bytes` of zeroed anonymous memory and hint it towards huge
+    /// pages.  Returns `None` when the mapping itself fails; the hint (and
+    /// the optional NUMA policy) are best-effort.
+    pub(super) fn map_hugepage_hinted(bytes: usize) -> Option<NonNull<u8>> {
+        // SAFETY: anonymous private mapping with no fd; arguments follow
+        // the mmap(2) contract.
+        let addr = unsafe {
+            syscall6(
+                SYS_MMAP,
+                0,
+                bytes,
+                PROT_READ_WRITE,
+                MAP_PRIVATE_ANON,
+                usize::MAX, // fd = -1
+                0,
+            )
+        };
+        // Errors are returned as -errno in [-4095, -1].
+        if (-4095..0).contains(&addr) {
+            return None;
+        }
+        let ptr = NonNull::new(addr as *mut u8)?;
+        // SAFETY: the range was just mapped by us.
+        unsafe { syscall6(SYS_MADVISE, addr as usize, bytes, MADV_HUGEPAGE, 0, 0, 0) };
+        #[cfg(feature = "numa-interleave")]
+        interleave(addr as usize, bytes);
+        Some(ptr)
+    }
+
+    /// Unmap a range previously returned by [`map_hugepage_hinted`].
+    pub(super) fn unmap(ptr: NonNull<u8>, bytes: usize) {
+        // SAFETY: ptr/bytes come from our own mmap.
+        unsafe { syscall6(SYS_MUNMAP, ptr.as_ptr() as usize, bytes, 0, 0, 0, 0) };
+    }
+
+    /// Best-effort `mbind(MPOL_INTERLEAVE)` over all online NUMA nodes.
+    /// Skipped (silently) with a single node, more than 64 nodes, or an
+    /// unreadable topology — the mapping works either way, only the page
+    /// placement differs.
+    #[cfg(feature = "numa-interleave")]
+    fn interleave(addr: usize, bytes: usize) {
+        const MPOL_INTERLEAVE: usize = 3;
+        let Some(mask) = online_node_mask() else {
+            return;
+        };
+        if mask.count_ones() < 2 {
+            return;
+        }
+        // SAFETY: addr/bytes describe our fresh mapping; the node mask is
+        // one u64 and maxnode covers it.
+        unsafe {
+            syscall6(
+                SYS_MBIND,
+                addr,
+                bytes,
+                MPOL_INTERLEAVE,
+                (&mask) as *const u64 as usize,
+                65, // maxnode: bits 0..64 are meaningful
+                0,
+            );
+        }
+    }
+
+    /// Parse `/sys/devices/system/node/online` (e.g. `0`, `0-3`, `0,2-3`)
+    /// into a bit mask; `None` on parse failure or nodes ≥ 64.
+    #[cfg(feature = "numa-interleave")]
+    fn online_node_mask() -> Option<u64> {
+        let text = std::fs::read_to_string("/sys/devices/system/node/online").ok()?;
+        let mut mask = 0u64;
+        for part in text.trim().split(',') {
+            let (lo, hi) = match part.split_once('-') {
+                Some((lo, hi)) => (lo.parse::<u32>().ok()?, hi.parse::<u32>().ok()?),
+                None => {
+                    let n = part.parse::<u32>().ok()?;
+                    (n, n)
+                }
+            };
+            if hi >= 64 || lo > hi {
+                return None;
+            }
+            for node in lo..=hi {
+                mask |= 1u64 << node;
+            }
+        }
+        (mask != 0).then_some(mask)
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+mod sys {
+    //! Non-Linux/x86-64 stub: every allocation takes the global-allocator
+    //! path.
+
+    use std::ptr::NonNull;
+
+    pub(super) fn map_hugepage_hinted(_bytes: usize) -> Option<NonNull<u8>> {
+        None
+    }
+
+    pub(super) fn unmap(_ptr: NonNull<u8>, _bytes: usize) {
+        unreachable!("no mapping can exist on this platform");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn small_allocation_uses_heap_and_is_zeroed() {
+        let b: HugeBox<u64> = HugeBox::zeroed(1024);
+        assert!(!b.is_mapped());
+        assert_eq!(b.len(), 1024);
+        assert!(b.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn empty_allocation() {
+        let b: HugeBox<u64> = HugeBox::zeroed(0);
+        assert_eq!(b.len(), 0);
+        assert!(!b.is_mapped());
+    }
+
+    #[test]
+    fn large_allocation_is_zeroed_and_usable() {
+        // 4 MB of AtomicU64: takes the mapped path on Linux/x86-64 (unless
+        // disabled), the heap path elsewhere — zeroed and writable either
+        // way.
+        let n = (2 * HUGEPAGE_THRESHOLD) / std::mem::size_of::<AtomicU64>();
+        let b: HugeBox<AtomicU64> = HugeBox::zeroed(n);
+        assert_eq!(b.len(), n);
+        if cfg!(all(target_os = "linux", target_arch = "x86_64"))
+            && std::env::var_os("GROWT_NO_HUGEPAGES").is_none()
+        {
+            assert!(b.is_mapped(), "large allocation should be mmap-backed");
+        }
+        assert!(b.iter().all(|x| x.load(Ordering::Relaxed) == 0));
+        b[0].store(7, Ordering::Relaxed);
+        b[n - 1].store(9, Ordering::Relaxed);
+        assert_eq!(b[0].load(Ordering::Relaxed), 7);
+        assert_eq!(b[n - 1].load(Ordering::Relaxed), 9);
+    }
+
+    #[test]
+    fn alignment_matches_element_type() {
+        #[repr(C, align(16))]
+        struct Wide([u64; 2]);
+        // SAFETY: zeroed [u64; 2] is valid, no drop glue.
+        unsafe impl ZeroInit for Wide {}
+        let b: HugeBox<Wide> = HugeBox::zeroed(8);
+        assert_eq!(b.as_ptr() as usize % 16, 0);
+        let big: HugeBox<Wide> = HugeBox::zeroed(HUGEPAGE_THRESHOLD / 16 + 1);
+        assert_eq!(big.as_ptr() as usize % 16, 0);
+    }
+
+    #[test]
+    fn drop_releases_both_backings() {
+        for _ in 0..4 {
+            let small: HugeBox<u64> = HugeBox::zeroed(16);
+            let large: HugeBox<u64> = HugeBox::zeroed(HUGEPAGE_THRESHOLD / 8);
+            drop(small);
+            drop(large);
+        }
+    }
+}

@@ -91,6 +91,11 @@ fn place_sequential(dst: &BoundedTable, key: u64, value: u64) {
     loop {
         if dst.cell(pos).load_key() == EMPTY_KEY {
             dst.cell(pos).store_unsynchronized(key, value);
+            // Keep the destination's signature stripe coherent during
+            // block placement (no-op for scalar-probed tables).  Readers
+            // are only admitted after the migration completes, so the
+            // publish ordering is trivially satisfied here.
+            dst.publish_occupied(pos, key);
             return;
         }
         pos = (pos + 1) & (capacity - 1);

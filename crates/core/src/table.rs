@@ -10,8 +10,12 @@
 //! `BoundedTable` and migrates it into a larger one when it fills up.
 
 use crate::cell::{is_marked, unmark, Cell, DEL_KEY, EMPTY_KEY, MARK_BIT};
-use crate::config::{capacity_for, scale_to_capacity, HashSelect, BATCH_PIPELINE, PROBE_LIMIT};
+use crate::config::{
+    capacity_for, scale_to_capacity, HashSelect, ProbeSelect, BATCH_PIPELINE, PROBE_LIMIT,
+};
+use crate::mem::HugeBox;
 use crate::prefetch::{prefetch_read, prefetch_write, CELLS_PER_LINE};
+use crate::simd::{fingerprint, MetaStripe, GROUP, TOMB_BYTE};
 
 /// Outcome of an insertion attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +32,14 @@ pub enum InsertOutcome {
     Full,
     /// A marked cell was encountered: a migration is in progress and the
     /// operation must be retried on the new table.
+    Migrating,
+}
+
+/// Per-cell outcome of one insert step (internal; the probe loop converts
+/// it into an [`InsertOutcome`] with the probe count filled in).
+enum InsertStep {
+    Inserted,
+    AlreadyPresent,
     Migrating,
 }
 
@@ -69,7 +81,9 @@ pub enum EraseOutcome {
 /// A bounded lock-free linear probing hash table over word-sized keys and
 /// values (the folklore table of §4).
 pub struct BoundedTable {
-    cells: Box<[Cell]>,
+    /// Hugepage-backed cell array (a zeroed cell *is* an empty cell, so
+    /// allocation needs no per-cell construction; see `mem.rs`).
+    cells: HugeBox<Cell>,
     capacity: usize,
     /// Table generation (0 for standalone tables; growing tables stamp
     /// every new table with an increasing version for diagnostics).
@@ -79,6 +93,14 @@ pub struct BoundedTable {
     /// generations of a growing table share one selection (the cluster
     /// migration requires source and target to agree on the hash).
     hash: HashSelect,
+    /// Probe kernel selection.  Stored even while the stripe is absent
+    /// (capacity below one probe group) so growing tables inherit it and
+    /// attach the stripe once the capacity allows.
+    probe: ProbeSelect,
+    /// Signature metadata stripe for SIMD group probing (see
+    /// [`crate::simd`]); present exactly when `probe` is
+    /// [`ProbeSelect::Simd`] and the capacity spans at least one group.
+    meta: Option<MetaStripe>,
 }
 
 impl BoundedTable {
@@ -97,16 +119,31 @@ impl BoundedTable {
     /// Create a table with exactly `capacity` cells (must be a power of
     /// two), the given generation number and the given hash selection.
     pub fn with_cells_hashed(capacity: usize, version: u64, hash: HashSelect) -> Self {
+        Self::with_cells_configured(capacity, version, hash, ProbeSelect::default())
+    }
+
+    /// Create a table with exactly `capacity` cells (must be a power of
+    /// two), the given generation number, hash selection and probe kernel
+    /// selection.
+    pub fn with_cells_configured(
+        capacity: usize,
+        version: u64,
+        hash: HashSelect,
+        probe: ProbeSelect,
+    ) -> Self {
         assert!(
             capacity.is_power_of_two(),
             "capacity must be a power of two"
         );
-        let cells: Box<[Cell]> = (0..capacity).map(|_| Cell::new()).collect();
+        let meta =
+            (probe == ProbeSelect::Simd && capacity >= GROUP).then(|| MetaStripe::new(capacity));
         BoundedTable {
-            cells,
+            cells: HugeBox::zeroed(capacity),
             capacity,
             version,
             hash,
+            probe,
+            meta,
         }
     }
 
@@ -134,10 +171,105 @@ impl BoundedTable {
         self.hash
     }
 
+    /// Probe kernel selection of this table (inherited by every generation
+    /// of a growing table, like the hash selection).
+    #[inline]
+    pub fn probe_select(&self) -> ProbeSelect {
+        self.probe
+    }
+
+    /// Signature stripe, when this table maintains one (tests and
+    /// diagnostics).
+    #[cfg(test)]
+    pub(crate) fn meta_stripe(&self) -> Option<&MetaStripe> {
+        self.meta.as_ref()
+    }
+
     /// First cell index probed for `key`.
     #[inline]
     pub fn home_cell(&self, key: u64) -> usize {
         scale_to_capacity(self.hash.hash(key), self.capacity)
+    }
+
+    /// Publish the stripe byte for a cell that was just claimed for `key`
+    /// (called *after* the claiming CAS — the stripe is a filter, never an
+    /// authority; see `simd.rs`).  No-op without a stripe.
+    #[inline]
+    pub(crate) fn publish_occupied(&self, index: usize, key: u64) {
+        if let Some(meta) = &self.meta {
+            meta.publish(index, fingerprint(self.hash.hash(key)));
+        }
+    }
+
+    /// Publish the tombstone stripe byte for a cell that was just
+    /// tombstoned (after the tombstone CAS).  No-op without a stripe.
+    #[inline]
+    pub(crate) fn publish_tombstone(&self, index: usize) {
+        if let Some(meta) = &self.meta {
+            meta.publish(index, TOMB_BYTE);
+        }
+    }
+
+    /// Striped probe driver: walk the signature stripe in [`GROUP`]-byte
+    /// steps from `home`, calling `on_candidate` for every cell whose
+    /// stripe byte equals the fingerprint of `hash` (`Some` short-circuits
+    /// the probe).  At the first **empty** stripe byte the walk stops
+    /// being authoritative — a freshly claimed cell's byte may still be in
+    /// flight, and migration marks are invisible to the stripe — so the
+    /// probe hands over to the scalar segment via
+    /// `on_tail(start, remaining_budget, cells_consumed)`, which confirms
+    /// emptiness (or whatever the operation needs) on the cells
+    /// themselves.  `exhausted` is returned when the probe budget runs out
+    /// without ever seeing an empty byte.
+    ///
+    /// Skipping a non-empty, non-matching byte without reading its cell is
+    /// sound because a cell only ever publishes `fingerprint(its key)` or
+    /// the tombstone byte: a wrong fingerprint is never observable, so a
+    /// mismatch proves the cell cannot hold this key (see `simd.rs`).
+    #[inline]
+    fn striped_probe<R>(
+        &self,
+        meta: &MetaStripe,
+        hash: u64,
+        home: usize,
+        mut on_candidate: impl FnMut(&Cell, usize) -> Option<R>,
+        on_tail: impl FnOnce(usize, usize, usize) -> R,
+        exhausted: R,
+    ) -> R {
+        let fp = fingerprint(hash);
+        let mask = self.capacity - 1;
+        // Both capacity and PROBE_LIMIT are powers of two >= GROUP here, so
+        // the budget is a whole number of groups — no partial group ever.
+        let limit = self.capacity.min(PROBE_LIMIT);
+        let mut base = home;
+        let mut scanned = 0usize;
+        while scanned < limit {
+            let (candidates, empties) = meta.probe_group(base, fp);
+            let until = if empties != 0 {
+                empties.trailing_zeros() as usize
+            } else {
+                GROUP
+            };
+            let mut cand = candidates & ((1u32 << until) - 1);
+            while cand != 0 {
+                let i = cand.trailing_zeros() as usize;
+                cand &= cand - 1;
+                let index = (base + i) & mask;
+                if let Some(result) = on_candidate(self.cell(index), index) {
+                    return result;
+                }
+            }
+            if until < GROUP {
+                return on_tail(
+                    (base + until) & mask,
+                    limit - scanned - until,
+                    scanned + until,
+                );
+            }
+            scanned += GROUP;
+            base = (base + GROUP) & mask;
+        }
+        exhausted
     }
 
     /// Advance a probe index and, whenever the run crosses into a new
@@ -155,10 +287,14 @@ impl BoundedTable {
 
     /// Shared skeleton of every batched operation — the hash → prefetch →
     /// probe pipeline: cut `items` into [`BATCH_PIPELINE`]-sized chunks,
-    /// compute and prefetch the home cell of every key in a chunk, then
+    /// hash every key in a chunk and prefetch its probe-entry lines, then
     /// run `probe` per item in slice order (so a batch is observably the
     /// per-op loop).  `write_hint` selects the prefetch flavour for
-    /// modifying probes.
+    /// modifying probes.  With a signature stripe the first pass prefetches
+    /// the metadata line *and* the home cell line: the group filter reads
+    /// the stripe first, but the candidate verify (or the empty-confirm)
+    /// touches the home cell line in almost every probe, so hiding both
+    /// misses beats saving the second hint.
     #[inline]
     fn batch_pipeline<T: Copy, R>(
         &self,
@@ -167,24 +303,29 @@ impl BoundedTable {
         label: &str,
         write_hint: bool,
         key_of: impl Fn(&T) -> u64,
-        probe: impl Fn(&T, usize) -> R,
+        probe: impl Fn(&T, u64) -> R,
     ) {
         assert_eq!(items.len(), out.len(), "{label}: length mismatch");
-        let mut homes = [0usize; BATCH_PIPELINE];
+        let mut hashes = [0u64; BATCH_PIPELINE];
         for (chunk, out_chunk) in items
             .chunks(BATCH_PIPELINE)
             .zip(out.chunks_mut(BATCH_PIPELINE))
         {
-            for (slot, item) in homes.iter_mut().zip(chunk.iter()) {
-                *slot = self.home_cell(key_of(item));
+            for (slot, item) in hashes.iter_mut().zip(chunk.iter()) {
+                let hash = self.hash.hash(key_of(item));
+                *slot = hash;
+                let home = scale_to_capacity(hash, self.capacity);
+                if let Some(meta) = &self.meta {
+                    meta.prefetch(home);
+                }
                 if write_hint {
-                    prefetch_write(self.cell(*slot));
+                    prefetch_write(self.cell(home));
                 } else {
-                    prefetch_read(self.cell(*slot));
+                    prefetch_read(self.cell(home));
                 }
             }
-            for ((item, slot), &home) in chunk.iter().zip(out_chunk.iter_mut()).zip(homes.iter()) {
-                *slot = probe(item, home);
+            for ((item, slot), &hash) in chunk.iter().zip(out_chunk.iter_mut()).zip(hashes.iter()) {
+                *slot = probe(item, hash);
             }
         }
     }
@@ -197,19 +338,49 @@ impl BoundedTable {
     /// and marked cells (the value of a marked cell is frozen and therefore
     /// valid to return).
     pub fn find(&self, key: u64) -> Option<u64> {
-        let home = self.home_cell(key);
-        self.find_probe(key, home)
+        self.find_probe_hashed(key, self.hash.hash(key))
     }
 
-    /// Probe for `key` starting at a precomputed `home` cell (the batched
-    /// pipeline hashes and prefetches all home cells of a block before
-    /// running any probe, then calls this).
+    /// Probe for `key` from its precomputed master `hash` (the batched
+    /// pipeline hashes and prefetches a whole block before running any
+    /// probe, then calls this).
     #[inline]
-    fn find_probe(&self, key: u64, home: usize) -> Option<u64> {
+    fn find_probe_hashed(&self, key: u64, hash: u64) -> Option<u64> {
         debug_assert!(!crate::cell::is_sentinel(key));
-        debug_assert_eq!(home, self.home_cell(key));
-        let mut index = home;
-        for _ in 0..self.capacity.min(PROBE_LIMIT) {
+        debug_assert_eq!(hash, self.hash.hash(key));
+        let home = scale_to_capacity(hash, self.capacity);
+        if let Some(meta) = &self.meta {
+            // Kick off the home cell line fetch in parallel with the
+            // stripe read: the candidate verify needs it in the common
+            // (found, displacement < 4) case.
+            prefetch_read(self.cell(home));
+            return self.striped_probe(
+                meta,
+                hash,
+                home,
+                |cell, _| {
+                    if unmark(cell.load_key()) == key {
+                        // Key read before value: a torn read can only
+                        // observe the newest value for this key (§4).
+                        Some(Some(cell.load_value()))
+                    } else {
+                        None
+                    }
+                },
+                |start, budget, _| self.find_probe_from(key, start, budget),
+                None,
+            );
+        }
+        self.find_probe_from(key, home, self.capacity.min(PROBE_LIMIT))
+    }
+
+    /// Scalar probe segment: scan up to `budget` cells from `start` (the
+    /// home cell, or the continuation point where the striped filter saw
+    /// its first empty stripe byte and must confirm on the cells).
+    #[inline]
+    fn find_probe_from(&self, key: u64, start: usize, budget: usize) -> Option<u64> {
+        let mut index = start;
+        for _ in 0..budget {
             let cell = self.cell(index);
             let stored_key = cell.load_key();
             let plain = unmark(stored_key);
@@ -238,7 +409,7 @@ impl BoundedTable {
             "find_batch",
             false,
             |&k| k,
-            |&k, home| self.find_probe(k, home),
+            |&k, hash| self.find_probe_hashed(k, hash),
         );
     }
 
@@ -248,38 +419,96 @@ impl BoundedTable {
 
     /// Insert `⟨key, value⟩` if the key is not yet present.
     pub fn insert(&self, key: u64, value: u64) -> InsertOutcome {
-        let home = self.home_cell(key);
-        self.insert_probe(key, value, home)
+        self.insert_probe_hashed(key, value, self.hash.hash(key))
     }
 
+    /// Per-cell insert step: `None` means "occupied by another key, keep
+    /// probing".  A successful claim publishes the stripe byte *after* the
+    /// CAS (filter discipline, see `simd.rs`).
     #[inline]
-    fn insert_probe(&self, key: u64, value: u64, home: usize) -> InsertOutcome {
-        debug_assert!(!crate::cell::is_sentinel(key));
-        debug_assert_eq!(
-            key & MARK_BIT,
-            0,
-            "application keys must not use the mark bit"
-        );
-        debug_assert_eq!(home, self.home_cell(key));
-        let mut index = home;
-        let limit = self.capacity.min(PROBE_LIMIT);
-        let mut probe = 0usize;
-        while probe < limit {
-            let cell = self.cell(index);
+    fn insert_cell(&self, cell: &Cell, index: usize, key: u64, value: u64) -> Option<InsertStep> {
+        loop {
             let stored_key = cell.load_key();
             if stored_key == EMPTY_KEY {
                 match cell.cas_pair((EMPTY_KEY, 0), (key, value)) {
-                    Ok(()) => return InsertOutcome::Inserted { probe },
+                    Ok(()) => {
+                        self.publish_occupied(index, key);
+                        return Some(InsertStep::Inserted);
+                    }
                     // Somebody claimed this cell first; re-examine it (it
                     // might now hold our key), cf. Algorithm 1 line 9.
                     Err(_) => continue,
                 }
             }
             if is_marked(stored_key) && unmark(stored_key) == EMPTY_KEY {
-                return InsertOutcome::Migrating;
+                return Some(InsertStep::Migrating);
             }
             if unmark(stored_key) == key {
-                return InsertOutcome::AlreadyPresent;
+                return Some(InsertStep::AlreadyPresent);
+            }
+            return None;
+        }
+    }
+
+    #[inline]
+    fn insert_probe_hashed(&self, key: u64, value: u64, hash: u64) -> InsertOutcome {
+        debug_assert!(!crate::cell::is_sentinel(key));
+        debug_assert_eq!(
+            key & MARK_BIT,
+            0,
+            "application keys must not use the mark bit"
+        );
+        debug_assert_eq!(hash, self.hash.hash(key));
+        let home = scale_to_capacity(hash, self.capacity);
+        if let Some(meta) = &self.meta {
+            prefetch_write(self.cell(home));
+            return self.striped_probe(
+                meta,
+                hash,
+                home,
+                |cell, _| {
+                    // A fingerprint candidate is never empty (bytes are
+                    // published after the claiming CAS) and never a marked
+                    // empty cell, so only the duplicate check applies.
+                    if unmark(cell.load_key()) == key {
+                        Some(InsertOutcome::AlreadyPresent)
+                    } else {
+                        None
+                    }
+                },
+                |start, budget, consumed| {
+                    self.insert_probe_from(key, value, start, budget, consumed)
+                },
+                InsertOutcome::Full,
+            );
+        }
+        self.insert_probe_from(key, value, home, self.capacity.min(PROBE_LIMIT), 0)
+    }
+
+    /// Scalar insert segment (see [`BoundedTable::find_probe_from`] for
+    /// the start/budget contract); `probe_base` cells were already
+    /// accounted by the striped filter and only shift the reported probe
+    /// count.
+    fn insert_probe_from(
+        &self,
+        key: u64,
+        value: u64,
+        start: usize,
+        budget: usize,
+        probe_base: usize,
+    ) -> InsertOutcome {
+        let mut index = start;
+        let mut probe = 0usize;
+        while probe < budget {
+            match self.insert_cell(self.cell(index), index, key, value) {
+                Some(InsertStep::Inserted) => {
+                    return InsertOutcome::Inserted {
+                        probe: probe_base + probe,
+                    }
+                }
+                Some(InsertStep::AlreadyPresent) => return InsertOutcome::AlreadyPresent,
+                Some(InsertStep::Migrating) => return InsertOutcome::Migrating,
+                None => {}
             }
             index = self.next_index_prefetched(index);
             probe += 1;
@@ -300,7 +529,7 @@ impl BoundedTable {
             "insert_batch",
             true,
             |&(k, _)| k,
-            |&(k, v), home| self.insert_probe(k, v, home),
+            |&(k, v), hash| self.insert_probe_hashed(k, v, hash),
         );
     }
 
@@ -311,43 +540,80 @@ impl BoundedTable {
     /// Update the value of `key` to `up(current, d)` using a full-cell CAS
     /// (mark-aware; safe under the asynchronous migration protocol).
     pub fn update_with(&self, key: u64, d: u64, up: impl Fn(u64, u64) -> u64) -> UpdateOutcome {
-        let home = self.home_cell(key);
-        self.update_probe(key, d, up, home)
+        self.update_probe_hashed(key, d, &up, self.hash.hash(key))
+    }
+
+    /// Per-cell step of the full-cell-CAS update: `Some` resolves the
+    /// whole operation, `None` means "other key, keep probing".
+    #[inline]
+    fn update_cell(
+        &self,
+        cell: &Cell,
+        key: u64,
+        d: u64,
+        up: &impl Fn(u64, u64) -> u64,
+    ) -> Option<UpdateOutcome> {
+        loop {
+            let (stored_key, stored_value) = cell.read();
+            if stored_key == EMPTY_KEY || (is_marked(stored_key) && unmark(stored_key) == EMPTY_KEY)
+            {
+                return Some(UpdateOutcome::NotFound);
+            }
+            if is_marked(stored_key) && unmark(stored_key) == key {
+                return Some(UpdateOutcome::Migrating);
+            }
+            if stored_key == key {
+                let new_value = up(stored_value, d);
+                match cell.cas_pair((key, stored_value), (key, new_value)) {
+                    Ok(()) => return Some(UpdateOutcome::Updated),
+                    // Lost a race: either a concurrent update (retry) or
+                    // a migration mark (detected on the next read).
+                    Err(_) => continue,
+                }
+            }
+            return None;
+        }
     }
 
     #[inline]
-    fn update_probe(
+    fn update_probe_hashed(
         &self,
         key: u64,
         d: u64,
-        up: impl Fn(u64, u64) -> u64,
-        home: usize,
+        up: &impl Fn(u64, u64) -> u64,
+        hash: u64,
     ) -> UpdateOutcome {
         debug_assert!(!crate::cell::is_sentinel(key));
-        debug_assert_eq!(home, self.home_cell(key));
-        let mut index = home;
-        for _ in 0..self.capacity.min(PROBE_LIMIT) {
-            let cell = self.cell(index);
-            loop {
-                let (stored_key, stored_value) = cell.read();
-                if stored_key == EMPTY_KEY
-                    || (is_marked(stored_key) && unmark(stored_key) == EMPTY_KEY)
-                {
-                    return UpdateOutcome::NotFound;
-                }
-                if is_marked(stored_key) && unmark(stored_key) == key {
-                    return UpdateOutcome::Migrating;
-                }
-                if stored_key == key {
-                    let new_value = up(stored_value, d);
-                    match cell.cas_pair((key, stored_value), (key, new_value)) {
-                        Ok(()) => return UpdateOutcome::Updated,
-                        // Lost a race: either a concurrent update (retry) or
-                        // a migration mark (detected on the next read).
-                        Err(_) => continue,
-                    }
-                }
-                break;
+        debug_assert_eq!(hash, self.hash.hash(key));
+        let home = scale_to_capacity(hash, self.capacity);
+        if let Some(meta) = &self.meta {
+            prefetch_write(self.cell(home));
+            return self.striped_probe(
+                meta,
+                hash,
+                home,
+                // A candidate cell is never (marked) empty, so the
+                // NotFound arm of update_cell cannot fire here.
+                |cell, _| self.update_cell(cell, key, d, up),
+                |start, budget, _| self.update_probe_from(key, d, up, start, budget),
+                UpdateOutcome::NotFound,
+            );
+        }
+        self.update_probe_from(key, d, up, home, self.capacity.min(PROBE_LIMIT))
+    }
+
+    fn update_probe_from(
+        &self,
+        key: u64,
+        d: u64,
+        up: &impl Fn(u64, u64) -> u64,
+        start: usize,
+        budget: usize,
+    ) -> UpdateOutcome {
+        let mut index = start;
+        for _ in 0..budget {
+            if let Some(outcome) = self.update_cell(self.cell(index), key, d, up) {
+                return outcome;
             }
             index = self.next_index_prefetched(index);
         }
@@ -370,7 +636,7 @@ impl BoundedTable {
             "update_batch_with",
             true,
             |&(k, _)| k,
-            |&(k, d), home| self.update_probe(k, d, up, home),
+            |&(k, d), hash| self.update_probe_hashed(k, d, &up, hash),
         );
     }
 
@@ -393,35 +659,73 @@ impl BoundedTable {
         d: u64,
         up: impl Fn(u64, u64) -> u64,
     ) -> UpdateOutcome {
-        let home = self.home_cell(key);
-        self.update_value_cas_probe(key, d, up, home)
+        self.update_value_cas_probe_hashed(key, d, &up, self.hash.hash(key))
+    }
+
+    /// Per-cell step of the value-CAS update (no mark handling — only
+    /// legal where migrations cannot run concurrently).
+    #[inline]
+    fn value_cas_cell(
+        &self,
+        cell: &Cell,
+        key: u64,
+        d: u64,
+        up: &impl Fn(u64, u64) -> u64,
+    ) -> Option<UpdateOutcome> {
+        let stored_key = unmark(cell.load_key());
+        if stored_key == EMPTY_KEY {
+            return Some(UpdateOutcome::NotFound);
+        }
+        if stored_key == key {
+            let mut current = cell.load_value();
+            loop {
+                match cell.cas_value(current, up(current, d)) {
+                    Ok(()) => return Some(UpdateOutcome::Updated),
+                    Err(observed) => current = observed,
+                }
+            }
+        }
+        None
     }
 
     #[inline]
-    fn update_value_cas_probe(
+    fn update_value_cas_probe_hashed(
         &self,
         key: u64,
         d: u64,
-        up: impl Fn(u64, u64) -> u64,
-        home: usize,
+        up: &impl Fn(u64, u64) -> u64,
+        hash: u64,
     ) -> UpdateOutcome {
         debug_assert!(!crate::cell::is_sentinel(key));
-        debug_assert_eq!(home, self.home_cell(key));
-        let mut index = home;
-        for _ in 0..self.capacity.min(PROBE_LIMIT) {
-            let cell = self.cell(index);
-            let stored_key = unmark(cell.load_key());
-            if stored_key == EMPTY_KEY {
-                return UpdateOutcome::NotFound;
-            }
-            if stored_key == key {
-                let mut current = cell.load_value();
-                loop {
-                    match cell.cas_value(current, up(current, d)) {
-                        Ok(()) => return UpdateOutcome::Updated,
-                        Err(observed) => current = observed,
-                    }
-                }
+        debug_assert_eq!(hash, self.hash.hash(key));
+        let home = scale_to_capacity(hash, self.capacity);
+        if let Some(meta) = &self.meta {
+            prefetch_write(self.cell(home));
+            return self.striped_probe(
+                meta,
+                hash,
+                home,
+                // Candidates are never empty, so NotFound cannot fire here.
+                |cell, _| self.value_cas_cell(cell, key, d, up),
+                |start, budget, _| self.update_value_cas_probe_from(key, d, up, start, budget),
+                UpdateOutcome::NotFound,
+            );
+        }
+        self.update_value_cas_probe_from(key, d, up, home, self.capacity.min(PROBE_LIMIT))
+    }
+
+    fn update_value_cas_probe_from(
+        &self,
+        key: u64,
+        d: u64,
+        up: &impl Fn(u64, u64) -> u64,
+        start: usize,
+        budget: usize,
+    ) -> UpdateOutcome {
+        let mut index = start;
+        for _ in 0..budget {
+            if let Some(outcome) = self.value_cas_cell(self.cell(index), key, d, up) {
+                return outcome;
             }
             index = self.next_index_prefetched(index);
         }
@@ -445,7 +749,7 @@ impl BoundedTable {
             "update_batch_value_cas_unsynchronized",
             true,
             |&(k, _)| k,
-            |&(k, d), home| self.update_value_cas_probe(k, d, up, home),
+            |&(k, d), hash| self.update_value_cas_probe_hashed(k, d, &up, hash),
         );
     }
 
@@ -453,37 +757,89 @@ impl BoundedTable {
     /// using full-cell CAS (mark-aware).
     pub fn upsert_with(&self, key: u64, d: u64, up: impl Fn(u64, u64) -> u64) -> UpsertOutcome {
         debug_assert!(!crate::cell::is_sentinel(key));
-        let mut index = self.home_cell(key);
-        let limit = self.capacity.min(PROBE_LIMIT);
-        let mut probe = 0usize;
-        while probe < limit {
-            let cell = self.cell(index);
-            loop {
-                let (stored_key, stored_value) = cell.read();
-                if stored_key == EMPTY_KEY {
-                    match cell.cas_pair((EMPTY_KEY, 0), (key, d)) {
-                        Ok(()) => return UpsertOutcome::Inserted,
-                        Err(_) => continue,
+        self.upsert_probe_hashed(key, d, &up, self.hash.hash(key))
+    }
+
+    /// Per-cell step of the full-cell-CAS upsert.
+    #[inline]
+    fn upsert_cell(
+        &self,
+        cell: &Cell,
+        index: usize,
+        key: u64,
+        d: u64,
+        up: &impl Fn(u64, u64) -> u64,
+    ) -> Option<UpsertOutcome> {
+        loop {
+            let (stored_key, stored_value) = cell.read();
+            if stored_key == EMPTY_KEY {
+                match cell.cas_pair((EMPTY_KEY, 0), (key, d)) {
+                    Ok(()) => {
+                        self.publish_occupied(index, key);
+                        return Some(UpsertOutcome::Inserted);
                     }
+                    Err(_) => continue,
                 }
-                if is_marked(stored_key) {
-                    let plain = unmark(stored_key);
-                    if plain == EMPTY_KEY || plain == key {
-                        return UpsertOutcome::Migrating;
-                    }
-                    break;
+            }
+            if is_marked(stored_key) {
+                let plain = unmark(stored_key);
+                if plain == EMPTY_KEY || plain == key {
+                    return Some(UpsertOutcome::Migrating);
                 }
-                if stored_key == key {
-                    let new_value = up(stored_value, d);
-                    match cell.cas_pair((key, stored_value), (key, new_value)) {
-                        Ok(()) => return UpsertOutcome::Updated,
-                        Err(_) => continue,
-                    }
+                return None;
+            }
+            if stored_key == key {
+                let new_value = up(stored_value, d);
+                match cell.cas_pair((key, stored_value), (key, new_value)) {
+                    Ok(()) => return Some(UpsertOutcome::Updated),
+                    Err(_) => continue,
                 }
-                break;
+            }
+            return None;
+        }
+    }
+
+    #[inline]
+    fn upsert_probe_hashed(
+        &self,
+        key: u64,
+        d: u64,
+        up: &impl Fn(u64, u64) -> u64,
+        hash: u64,
+    ) -> UpsertOutcome {
+        debug_assert_eq!(hash, self.hash.hash(key));
+        let home = scale_to_capacity(hash, self.capacity);
+        if let Some(meta) = &self.meta {
+            prefetch_write(self.cell(home));
+            return self.striped_probe(
+                meta,
+                hash,
+                home,
+                // Candidates are never empty, so the insert arm of
+                // upsert_cell cannot fire here; the update and Migrating
+                // arms carry the semantics.
+                |cell, index| self.upsert_cell(cell, index, key, d, up),
+                |start, budget, _| self.upsert_probe_from(key, d, up, start, budget),
+                UpsertOutcome::Full,
+            );
+        }
+        self.upsert_probe_from(key, d, up, home, self.capacity.min(PROBE_LIMIT))
+    }
+
+    fn upsert_probe_from(
+        &self,
+        key: u64,
+        d: u64,
+        up: &impl Fn(u64, u64) -> u64,
+        start: usize,
+        budget: usize,
+    ) -> UpsertOutcome {
+        let mut index = start;
+        for _ in 0..budget {
+            if let Some(outcome) = self.upsert_cell(self.cell(index), index, key, d, up) {
+                return outcome;
             }
             index = self.next_index_prefetched(index);
-            probe += 1;
         }
         UpsertOutcome::Full
     }
@@ -495,16 +851,48 @@ impl BoundedTable {
     /// tables; under the marking protocol this could resurrect a value in a
     /// cell that has already been copied.
     pub fn update_overwrite_unsynchronized(&self, key: u64, value: u64) -> UpdateOutcome {
-        let mut index = self.home_cell(key);
-        for _ in 0..self.capacity.min(PROBE_LIMIT) {
-            let cell = self.cell(index);
-            let stored_key = cell.load_key();
-            if unmark(stored_key) == EMPTY_KEY {
-                return UpdateOutcome::NotFound;
-            }
-            if unmark(stored_key) == key {
-                cell.store_value(value);
-                return UpdateOutcome::Updated;
+        let hash = self.hash.hash(key);
+        let home = scale_to_capacity(hash, self.capacity);
+        if let Some(meta) = &self.meta {
+            prefetch_write(self.cell(home));
+            return self.striped_probe(
+                meta,
+                hash,
+                home,
+                |cell, _| self.overwrite_cell(cell, key, value),
+                |start, budget, _| self.overwrite_probe_from(key, value, start, budget),
+                UpdateOutcome::NotFound,
+            );
+        }
+        self.overwrite_probe_from(key, value, home, self.capacity.min(PROBE_LIMIT))
+    }
+
+    /// Per-cell step of the overwrite update (no occupancy change, so no
+    /// stripe publish).
+    #[inline]
+    fn overwrite_cell(&self, cell: &Cell, key: u64, value: u64) -> Option<UpdateOutcome> {
+        let stored_key = cell.load_key();
+        if unmark(stored_key) == EMPTY_KEY {
+            return Some(UpdateOutcome::NotFound);
+        }
+        if unmark(stored_key) == key {
+            cell.store_value(value);
+            return Some(UpdateOutcome::Updated);
+        }
+        None
+    }
+
+    fn overwrite_probe_from(
+        &self,
+        key: u64,
+        value: u64,
+        start: usize,
+        budget: usize,
+    ) -> UpdateOutcome {
+        let mut index = start;
+        for _ in 0..budget {
+            if let Some(outcome) = self.overwrite_cell(self.cell(index), key, value) {
+                return outcome;
             }
             index = self.next_index_prefetched(index);
         }
@@ -518,24 +906,52 @@ impl BoundedTable {
     /// legal when migrations cannot run concurrently (synchronized
     /// protocol); it is the aggregation fast path of Fig. 5.
     pub fn upsert_fetch_add_unsynchronized(&self, key: u64, d: u64) -> UpsertOutcome {
-        let mut index = self.home_cell(key);
-        let limit = self.capacity.min(PROBE_LIMIT);
-        let mut probe = 0usize;
-        while probe < limit {
-            let cell = self.cell(index);
+        let hash = self.hash.hash(key);
+        let home = scale_to_capacity(hash, self.capacity);
+        if let Some(meta) = &self.meta {
+            prefetch_write(self.cell(home));
+            return self.striped_probe(
+                meta,
+                hash,
+                home,
+                // Candidates are never empty: only the fetch-add arm fires.
+                |cell, index| self.fetch_add_cell(cell, index, key, d),
+                |start, budget, _| self.fetch_add_probe_from(key, d, start, budget),
+                UpsertOutcome::Full,
+            );
+        }
+        self.fetch_add_probe_from(key, d, home, self.capacity.min(PROBE_LIMIT))
+    }
+
+    /// Per-cell step of the fetch-add upsert.
+    #[inline]
+    fn fetch_add_cell(&self, cell: &Cell, index: usize, key: u64, d: u64) -> Option<UpsertOutcome> {
+        loop {
             let stored_key = cell.load_key();
             if stored_key == EMPTY_KEY {
                 match cell.cas_pair((EMPTY_KEY, 0), (key, d)) {
-                    Ok(()) => return UpsertOutcome::Inserted,
+                    Ok(()) => {
+                        self.publish_occupied(index, key);
+                        return Some(UpsertOutcome::Inserted);
+                    }
                     Err(_) => continue,
                 }
             }
             if unmark(stored_key) == key {
                 cell.fetch_add_value(d);
-                return UpsertOutcome::Updated;
+                return Some(UpsertOutcome::Updated);
+            }
+            return None;
+        }
+    }
+
+    fn fetch_add_probe_from(&self, key: u64, d: u64, start: usize, budget: usize) -> UpsertOutcome {
+        let mut index = start;
+        for _ in 0..budget {
+            if let Some(outcome) = self.fetch_add_cell(self.cell(index), index, key, d) {
+                return outcome;
             }
             index = self.next_index_prefetched(index);
-            probe += 1;
         }
         UpsertOutcome::Full
     }
@@ -548,34 +964,61 @@ impl BoundedTable {
     /// untouched so concurrent torn reads still observe the pre-deletion
     /// element.
     pub fn erase(&self, key: u64) -> EraseOutcome {
-        let home = self.home_cell(key);
-        self.erase_probe(key, home)
+        self.erase_probe_hashed(key, self.hash.hash(key))
+    }
+
+    /// Per-cell step of the tombstone deletion; a successful tombstone CAS
+    /// publishes the tombstone stripe byte.
+    #[inline]
+    fn erase_cell(&self, cell: &Cell, index: usize, key: u64) -> Option<EraseOutcome> {
+        loop {
+            let (stored_key, stored_value) = cell.read();
+            if stored_key == EMPTY_KEY || (is_marked(stored_key) && unmark(stored_key) == EMPTY_KEY)
+            {
+                return Some(EraseOutcome::NotFound);
+            }
+            if is_marked(stored_key) && unmark(stored_key) == key {
+                return Some(EraseOutcome::Migrating);
+            }
+            if stored_key == key {
+                match cell.cas_pair((key, stored_value), (DEL_KEY, stored_value)) {
+                    Ok(()) => {
+                        self.publish_tombstone(index);
+                        return Some(EraseOutcome::Erased);
+                    }
+                    Err(_) => continue,
+                }
+            }
+            return None;
+        }
     }
 
     #[inline]
-    fn erase_probe(&self, key: u64, home: usize) -> EraseOutcome {
+    fn erase_probe_hashed(&self, key: u64, hash: u64) -> EraseOutcome {
         debug_assert!(!crate::cell::is_sentinel(key));
-        debug_assert_eq!(home, self.home_cell(key));
-        let mut index = home;
-        for _ in 0..self.capacity.min(PROBE_LIMIT) {
-            let cell = self.cell(index);
-            loop {
-                let (stored_key, stored_value) = cell.read();
-                if stored_key == EMPTY_KEY
-                    || (is_marked(stored_key) && unmark(stored_key) == EMPTY_KEY)
-                {
-                    return EraseOutcome::NotFound;
-                }
-                if is_marked(stored_key) && unmark(stored_key) == key {
-                    return EraseOutcome::Migrating;
-                }
-                if stored_key == key {
-                    match cell.cas_pair((key, stored_value), (DEL_KEY, stored_value)) {
-                        Ok(()) => return EraseOutcome::Erased,
-                        Err(_) => continue,
-                    }
-                }
-                break;
+        debug_assert_eq!(hash, self.hash.hash(key));
+        let home = scale_to_capacity(hash, self.capacity);
+        if let Some(meta) = &self.meta {
+            prefetch_write(self.cell(home));
+            return self.striped_probe(
+                meta,
+                hash,
+                home,
+                // Candidates are never (marked) empty, so NotFound cannot
+                // fire here.
+                |cell, index| self.erase_cell(cell, index, key),
+                |start, budget, _| self.erase_probe_from(key, start, budget),
+                EraseOutcome::NotFound,
+            );
+        }
+        self.erase_probe_from(key, home, self.capacity.min(PROBE_LIMIT))
+    }
+
+    fn erase_probe_from(&self, key: u64, start: usize, budget: usize) -> EraseOutcome {
+        let mut index = start;
+        for _ in 0..budget {
+            if let Some(outcome) = self.erase_cell(self.cell(index), index, key) {
+                return outcome;
             }
             index = self.next_index_prefetched(index);
         }
@@ -593,7 +1036,7 @@ impl BoundedTable {
             "erase_batch",
             true,
             |&k| k,
-            |&k, home| self.erase_probe(k, home),
+            |&k, hash| self.erase_probe_hashed(k, hash),
         );
     }
 
@@ -992,5 +1435,154 @@ mod tests {
         assert_eq!(seen.len(), 62);
         assert!(!seen.contains(&10));
         assert!(!seen.contains(&11));
+    }
+
+    /// A striped table of the given capacity (the stripe exists whenever
+    /// `capacity >= GROUP`).
+    fn simd_table(capacity: usize) -> BoundedTable {
+        let t =
+            BoundedTable::with_cells_configured(capacity, 0, HashSelect::Mix, ProbeSelect::Simd);
+        assert_eq!(t.probe_select(), ProbeSelect::Simd);
+        t
+    }
+
+    #[test]
+    fn simd_table_roundtrip_and_stripe_coherent() {
+        let t = simd_table(2048);
+        assert!(t.meta_stripe().is_some());
+        for k in 10..510u64 {
+            assert!(matches!(t.insert(k, k * 2), InsertOutcome::Inserted { .. }));
+        }
+        for k in 10..510u64 {
+            assert_eq!(t.find(k), Some(k * 2));
+        }
+        assert_eq!(t.find(100_000), None);
+        assert_eq!(t.erase(10), EraseOutcome::Erased);
+        assert_eq!(t.erase(10), EraseOutcome::NotFound);
+        assert_eq!(t.find(10), None);
+
+        // Every cell state is mirrored in the stripe: occupied cells carry
+        // their key's fingerprint, tombstoned cells TOMB_BYTE, and
+        // never-used cells stay 0.
+        let meta = t.meta_stripe().unwrap();
+        for i in 0..t.capacity() {
+            let key = t.cell(i).load_key();
+            let byte = meta.load(i);
+            if key == EMPTY_KEY {
+                assert_eq!(byte, 0, "cell {i}");
+            } else if key == DEL_KEY {
+                assert_eq!(byte, TOMB_BYTE, "cell {i}");
+            } else {
+                assert_eq!(byte, fingerprint(t.hash.hash(key)), "cell {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_small_capacity_has_no_stripe_but_works() {
+        // Below one probe group the stripe is skipped and every operation
+        // takes the scalar path.
+        let t = simd_table(8);
+        assert!(t.meta_stripe().is_none());
+        for k in 2..8u64 {
+            assert!(matches!(t.insert(k, k), InsertOutcome::Inserted { .. }));
+        }
+        for k in 2..8u64 {
+            assert_eq!(t.find(k), Some(k));
+        }
+        assert_eq!(t.erase(3), EraseOutcome::Erased);
+        assert_eq!(t.find(3), None);
+    }
+
+    #[test]
+    fn simd_matches_scalar_op_for_op() {
+        // Same mixed sequence against a striped and a scalar table: every
+        // outcome and the final contents must agree.
+        let striped = simd_table(1024);
+        let scalar = BoundedTable::with_cells(1024, 0);
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        for _ in 0..6_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let k = 2 + (x >> 52); // small key range: plenty of collisions
+            match x % 5 {
+                0 => assert_eq!(
+                    matches!(striped.insert(k, k), InsertOutcome::Inserted { .. }),
+                    matches!(scalar.insert(k, k), InsertOutcome::Inserted { .. }),
+                ),
+                1 => assert_eq!(striped.find(k), scalar.find(k)),
+                2 => assert_eq!(
+                    striped.update_with(k, 3, |c, d| c + d),
+                    scalar.update_with(k, 3, |c, d| c + d)
+                ),
+                3 => assert_eq!(
+                    striped.upsert_with(k, 1, |c, d| c + d),
+                    scalar.upsert_with(k, 1, |c, d| c + d)
+                ),
+                _ => assert_eq!(striped.erase(k), scalar.erase(k)),
+            }
+        }
+        assert_eq!(striped.scan_counts(), scalar.scan_counts());
+        striped.for_each(|k, v| assert_eq!(scalar.find(k), Some(v)));
+    }
+
+    #[test]
+    fn simd_batches_match_per_op() {
+        let batched = simd_table(4096);
+        let looped = simd_table(4096);
+        let keys: Vec<u64> = (2..1002u64).map(|k| k * 7 + 1).collect();
+        let elems: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k * 2)).collect();
+
+        let mut in_outcomes = vec![InsertOutcome::Full; elems.len()];
+        batched.insert_batch(&elems, &mut in_outcomes);
+        for &(k, v) in &elems {
+            looped.insert(k, v);
+        }
+        assert!(in_outcomes
+            .iter()
+            .all(|&o| matches!(o, InsertOutcome::Inserted { .. })));
+
+        let mut found = vec![None; keys.len()];
+        batched.find_batch(&keys, &mut found);
+        for (&k, &f) in keys.iter().zip(found.iter()) {
+            assert_eq!(f, looped.find(k), "find {k}");
+            assert_eq!(f, Some(k * 2));
+        }
+
+        let mut er_outcomes = vec![EraseOutcome::NotFound; keys.len()];
+        batched.erase_batch(&keys[..500], &mut er_outcomes[..500]);
+        for &k in &keys[..500] {
+            assert_eq!(looped.erase(k), EraseOutcome::Erased);
+        }
+        assert_eq!(batched.scan_counts(), looped.scan_counts());
+    }
+
+    #[test]
+    fn simd_concurrent_inserts_and_finds() {
+        // Striped probing under real concurrency: publication of the
+        // fingerprint byte races with readers, which must never miss a
+        // completed insert.
+        let t = Arc::new(simd_table(1 << 14));
+        std::thread::scope(|s| {
+            for thread in 0..4u64 {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    for i in 0..2_000u64 {
+                        let k = 2 + thread * 10_000 + i;
+                        assert!(matches!(t.insert(k, k), InsertOutcome::Inserted { .. }));
+                        assert_eq!(t.find(k), Some(k));
+                    }
+                });
+            }
+        });
+        for thread in 0..4u64 {
+            for i in 0..2_000u64 {
+                let k = 2 + thread * 10_000 + i;
+                assert_eq!(t.find(k), Some(k));
+            }
+        }
+        let (live, tomb, marked) = t.scan_counts();
+        assert_eq!((live, tomb, marked), (8_000, 0, 0));
     }
 }

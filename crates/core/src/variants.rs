@@ -15,7 +15,7 @@ use growt_iface::{
     Value,
 };
 
-use crate::config::{capacity_for, HashSelect};
+use crate::config::{capacity_for, HashSelect, ProbeSelect};
 use crate::grow::{Consistency, GrowHandle, GrowStrategy, GrowingOptions, GrowingTable};
 use crate::table::{BoundedTable, EraseOutcome, InsertOutcome, UpdateOutcome, UpsertOutcome};
 
@@ -299,10 +299,15 @@ macro_rules! growing_variant {
     ($(#[$doc:meta])* $name:ident, $handle:ident, $strategy:expr, $consistency:expr,
      $display:literal, $htm:literal) => {
         growing_variant!($(#[$doc])* $name, $handle, $strategy, $consistency,
-            $display, $htm, HashSelect::Mix);
+            $display, $htm, HashSelect::Mix, ProbeSelect::Scalar);
     };
     ($(#[$doc:meta])* $name:ident, $handle:ident, $strategy:expr, $consistency:expr,
      $display:literal, $htm:literal, $hash:expr) => {
+        growing_variant!($(#[$doc])* $name, $handle, $strategy, $consistency,
+            $display, $htm, $hash, ProbeSelect::Scalar);
+    };
+    ($(#[$doc:meta])* $name:ident, $handle:ident, $strategy:expr, $consistency:expr,
+     $display:literal, $htm:literal, $hash:expr, $probe:expr) => {
         $(#[$doc])*
         pub struct $name {
             table: GrowingTable,
@@ -330,6 +335,7 @@ macro_rules! growing_variant {
                     threads_hint: threads_hint(),
                     use_htm: $htm,
                     hash: $hash,
+                    probe: $probe,
                     ..GrowingOptions::default()
                 };
                 $name {
@@ -507,6 +513,22 @@ growing_variant!(
     HashSelect::Crc
 );
 
+growing_variant!(
+    /// `uaGrow` probing through the signature metadata stripe: every table
+    /// generation keeps a one-byte fingerprint per cell and matches 16
+    /// fingerprints per probe step (SSE2, portable SWAR fallback) — the
+    /// `scaling` figure measures this against [`UaGrow`] to quantify the
+    /// striped probe under growing and migration.
+    UaGrowSimd,
+    UaGrowSimdHandle,
+    GrowStrategy::Enslave,
+    Consistency::AsyncMarking,
+    "uaGrow-simd",
+    false,
+    HashSelect::Mix,
+    ProbeSelect::Simd
+);
+
 // ---------------------------------------------------------------------------
 // FolkloreCrc (bounded, CRC32-C cell mapping)
 // ---------------------------------------------------------------------------
@@ -534,6 +556,44 @@ impl ConcurrentMap for FolkloreCrc {
     fn capabilities() -> Capabilities {
         Capabilities {
             name: "folklore-crc",
+            ..Folklore::capabilities()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FolkloreSimd (bounded, striped fingerprint probing)
+// ---------------------------------------------------------------------------
+
+/// The bounded folklore table probing through the signature metadata
+/// stripe: one fingerprint byte per cell, 16 candidates matched per probe
+/// step (SSE2 `pcmpeqb`/`pmovmskb`, portable SWAR fallback).  Shares
+/// [`FolkloreHandle`] with [`Folklore`]; only the probe strategy differs.
+pub struct FolkloreSimd {
+    table: BoundedTable,
+}
+
+impl ConcurrentMap for FolkloreSimd {
+    type Handle<'a> = FolkloreHandle<'a>;
+
+    fn with_capacity(capacity: usize) -> Self {
+        FolkloreSimd {
+            table: BoundedTable::with_cells_configured(
+                capacity_for(capacity),
+                0,
+                HashSelect::Mix,
+                ProbeSelect::Simd,
+            ),
+        }
+    }
+
+    fn handle(&self) -> FolkloreHandle<'_> {
+        FolkloreHandle { table: &self.table }
+    }
+
+    fn capabilities() -> Capabilities {
+        Capabilities {
+            name: "folklore-simd",
             ..Folklore::capabilities()
         }
     }
@@ -594,6 +654,29 @@ mod tests {
         smoke::<UaGrowTsx>();
         smoke::<UsGrowTsx>();
         smoke::<UaGrowCrc>();
+        smoke::<UaGrowSimd>();
+    }
+
+    #[test]
+    fn simd_variants_grow_and_roundtrip() {
+        // The striped probe strategy must be inherited by every generation
+        // and survive migrations, deletions, and plain bounded operation.
+        smoke::<FolkloreSimd>();
+        let table = UaGrowSimd::with_capacity(16);
+        let mut h = table.handle();
+        for k in 2..10_002u64 {
+            assert!(h.insert(k, k * 3));
+        }
+        assert!(table.inner().migrations_completed() > 0);
+        for k in 2..10_002u64 {
+            assert_eq!(h.find(k), Some(k * 3));
+        }
+        for k in 2..1_002u64 {
+            assert!(h.erase(k));
+            assert_eq!(h.find(k), None);
+        }
+        assert_eq!(FolkloreSimd::table_name(), "folklore-simd");
+        assert_eq!(UaGrowSimd::table_name(), "uaGrow-simd");
     }
 
     #[test]

@@ -72,18 +72,26 @@ unsafe fn crc32c_u64_hw(seed: u32, x: u64) -> u32 {
 }
 
 /// `true` when the hardware CRC32-C instruction (SSE4.2) can be used on
-/// this CPU (cached atomic load; constant when the build enables the
-/// feature).
+/// this CPU (cached detection; `GROWT_NO_SIMD` in the environment forces
+/// the software port, mirroring `growt-core::cpu` so the tables and the
+/// workload generators always agree on the kernel).
 #[inline]
 pub fn crc32c_hw_available() -> bool {
-    #[cfg(target_arch = "x86_64")]
-    {
-        std::arch::is_x86_feature_detected!("sse4.2")
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    {
-        false
-    }
+    use std::sync::OnceLock;
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        if std::env::var_os("GROWT_NO_SIMD").is_some() {
+            return false;
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("sse4.2")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    })
 }
 
 /// CRC32-C over the 8 bytes of `x`, starting from `seed`: the hardware

@@ -50,8 +50,9 @@ pub mod prelude {
         RcuQsbrTable, RcuTable, TbbHashMap, TbbUnorderedMap,
     };
     pub use growt_core::{
-        Folklore, FolkloreCrc, GrowingOptions, GrowingStringTable, GrowingTable, HashSelect,
-        PaGrow, PsGrow, StringKeyTable, TsxFolklore, UaGrow, UaGrowCrc, UsGrow,
+        Folklore, FolkloreCrc, FolkloreSimd, GrowingOptions, GrowingStringTable, GrowingTable,
+        HashSelect, PaGrow, ProbeSelect, PsGrow, StringKeyTable, TsxFolklore, UaGrow, UaGrowCrc,
+        UaGrowSimd, UsGrow,
     };
     pub use growt_iface::{
         Capabilities, ConcurrentMap, GrowthSupport, InsertOrUpdate, MapHandle, StringMap,

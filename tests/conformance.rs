@@ -332,9 +332,11 @@ conformance! {
     // growt-core variants (§7).
     folklore => Folklore,
     folklore_crc => FolkloreCrc,
+    folklore_simd => FolkloreSimd,
     tsx_folklore => TsxFolklore,
     ua_grow => UaGrow,
     ua_grow_crc => UaGrowCrc,
+    ua_grow_simd => UaGrowSimd,
     us_grow => UsGrow,
     pa_grow => PaGrow,
     ps_grow => PsGrow,

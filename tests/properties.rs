@@ -181,6 +181,46 @@ proptest! {
         }
     }
 
+    /// The three fingerprint-matching kernels (scalar reference, portable
+    /// SWAR, SSE2) are bit-identical on arbitrary group contents — the
+    /// striped probe may dispatch to any of them.
+    #[test]
+    fn probe_kernels_agree(bytes in prop::collection::vec(any::<u8>(), 16..17),
+                           hash in any::<u64>()) {
+        use growt_core::simd::{
+            fingerprint, match_group_scalar, match_group_sse2, match_group_swar, GROUP,
+        };
+        let group: [u8; GROUP] = bytes.as_slice().try_into().unwrap();
+        // Probe both an arbitrary in-range fingerprint and bytes that can
+        // also occur in the group itself (hit-heavy patterns).
+        for fp in [fingerprint(hash), group[0] | 0x80, 0x80u8, 0xFFu8] {
+            let reference = match_group_scalar(&group, fp);
+            prop_assert_eq!(match_group_swar(&group, fp), reference);
+            if let Some(sse2) = match_group_sse2(&group, fp) {
+                prop_assert_eq!(sse2, reference);
+            } else {
+                // Only a disabled/absent SSE2 path may decline.
+                prop_assert!(
+                    !cfg!(target_arch = "x86_64") || std::env::var_os("GROWT_NO_SIMD").is_some()
+                );
+            }
+        }
+    }
+
+    /// The striped-probe folklore table behaves exactly like HashMap for
+    /// arbitrary op sequences (same model as the scalar table above).
+    #[test]
+    fn folklore_simd_matches_hashmap(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        run_model_with_capacity::<FolkloreSimd>(&ops, 512)?;
+    }
+
+    /// uaGrow with striped probing: the stripe must stay coherent across
+    /// migrations triggered by the op sequence.
+    #[test]
+    fn ua_grow_simd_matches_hashmap(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        run_model::<UaGrowSimd>(&ops)?;
+    }
+
     /// The approximate counter never under-estimates by more than p² and is
     /// exact after all handles flush.
     #[test]
