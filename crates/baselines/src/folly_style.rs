@@ -21,7 +21,9 @@ use growt_iface::{
 };
 use parking_lot::Mutex;
 
-use crate::util::{assert_user_key, capacity_for, hash_key, load_published_key, scale};
+use crate::util::{
+    assert_user_key, capacity_for, hash_key, load_published_key, publish_key, scale,
+};
 
 const EMPTY: u64 = 0;
 const TOMBSTONE: u64 = 1;
@@ -85,9 +87,14 @@ impl SubMap {
                         // concurrent fetch-add / CAS updates must never see
                         // (and then be overwritten by) a transient zero.
                         self.values[index].store(value, Ordering::Release);
-                        self.keys[index].store(key, Ordering::Release);
-                        self.used.fetch_add(1, Ordering::Relaxed);
-                        return Ok(true);
+                        if publish_key(&self.keys[index], key) {
+                            self.used.fetch_add(1, Ordering::Relaxed);
+                            return Ok(true);
+                        }
+                        // We stalled inside the window so long that a probe
+                        // declared us dead and repaired the claim to a
+                        // tombstone; the claim is lost for good — probe
+                        // past.
                     }
                     Err(actual) => {
                         if actual == key {

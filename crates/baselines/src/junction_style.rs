@@ -29,7 +29,9 @@ use growt_iface::{
 use growt_reclaim::{CachedArc, QsbrDomain, VersionedArc};
 use parking_lot::Mutex;
 
-use crate::util::{assert_user_key, capacity_for, hash_key, load_published_key, scale};
+use crate::util::{
+    assert_user_key, capacity_for, hash_key, load_published_key, publish_key, scale,
+};
 
 const EMPTY: u64 = 0;
 const TOMBSTONE: u64 = 1;
@@ -96,9 +98,14 @@ impl Array {
                         // so no probe (and no migration copy) ever sees a
                         // published key with a transient value.
                         self.values[index].store(value, Ordering::Release);
-                        self.keys[index].store(key, Ordering::Release);
-                        self.used.fetch_add(1, Ordering::Relaxed);
-                        return Ok(true);
+                        if publish_key(&self.keys[index], key) {
+                            self.used.fetch_add(1, Ordering::Relaxed);
+                            return Ok(true);
+                        }
+                        // Our stalled claim was repaired to a tombstone by
+                        // a probe; the claim is lost for good — probe past
+                        // (consuming the step is fine here: the cell is a
+                        // tombstone, which `find_slot` also walks past).
                     }
                     Err(actual) if actual == key => return Ok(false),
                     // Lost the cell to a concurrent insert: re-examine the

@@ -16,6 +16,14 @@
 //! of the previous revision, where the key was published *first* and the
 //! value written *after*).
 //!
+//! The window is also **crash-recoverable** (DESIGN.md §12): a probe that
+//! spins past a long patience bound assumes the claimer died inside the
+//! window and repairs the cell with `CAS(INFLIGHT → TOMBSTONE)`.  To keep
+//! that safe against a claimer that was merely descheduled, step 3 is a
+//! `CAS(INFLIGHT → packed)` rather than a plain store: a zombie claimer
+//! whose cell was repaired loses the CAS, observes the repair, and
+//! re-probes — it can never revive a tombstone into a duplicate key.
+//!
 //! Deletion writes a tombstone over the key reference; the key allocation
 //! is pushed onto a deferred-free list released when the table is dropped
 //! (the bounded baseline has no migrations to fold reclamation into — the
@@ -37,6 +45,13 @@ const TOMBSTONE: u64 = 1;
 /// yet.  Not a packed word (packed words have bit 63 clear and are
 /// `≥ 2⁴⁸` with a non-zero signature); probes spin through this window.
 const INFLIGHT: u64 = u64::MAX;
+
+/// Loop iterations a probe tolerates an `INFLIGHT` cell before it assumes
+/// the claimer died inside the publication window and repairs the cell to
+/// a tombstone.  The window is a handful of instructions, so a healthy
+/// claimer finishes within the 64-spin phase; ~16k yields (milliseconds)
+/// of no progress means the claimer unwound between claim and publish.
+const REPAIR_PATIENCE: u32 = 1 << 14;
 
 /// `true` when the key word is a published packed reference.
 #[inline]
@@ -90,9 +105,14 @@ impl StringKeyTable {
     /// Load a key word, spinning out the `INFLIGHT` publication window so
     /// callers only ever observe `EMPTY`, `TOMBSTONE` or a published
     /// reference (whose value store already happened-before the key
-    /// publication).  Lock-free rather than wait-free: a claimer
-    /// descheduled inside the window stalls probes through this cell, so
-    /// after a short spin the waiter yields its timeslice to the claimer.
+    /// publication).  A claimer descheduled inside the window stalls
+    /// probes through this cell, so after a short spin the waiter yields
+    /// its timeslice to the claimer; a claimer that *died* inside the
+    /// window (unwound between claim and publish) would stall probes
+    /// forever, so after [`REPAIR_PATIENCE`] iterations the waiter
+    /// repairs the cell to a tombstone.  The repair CAS racing a zombie
+    /// claimer's publication CAS has exactly one winner, and a lost
+    /// repair just means the cell got published — re-read and return it.
     #[inline]
     fn load_published(cell: &StringCell) -> u64 {
         let mut spins = 0u32;
@@ -104,6 +124,16 @@ impl StringKeyTable {
             spins += 1;
             if spins < 64 {
                 std::hint::spin_loop();
+            } else if spins >= REPAIR_PATIENCE {
+                let _ = cell.keyref.compare_exchange(
+                    INFLIGHT,
+                    TOMBSTONE,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+                // Whatever the outcome, the next load is conclusive: a
+                // cell never becomes INFLIGHT again (the only transition
+                // into INFLIGHT is from EMPTY).
             } else {
                 std::thread::yield_now();
             }
@@ -121,17 +151,30 @@ impl StringKeyTable {
     }
 
     fn try_insert(&self, key: &str, value: u64) -> TryInsert {
+        // Owns the not-yet-published key allocation; freed on drop —
+        // including an unwind from inside the publication window (an
+        // injected fault there must not leak the allocation; the claimed
+        // cell itself is repaired to a tombstone by later probes).
+        struct PendingKey(Option<*const u8>);
+        impl Drop for PendingKey {
+            fn drop(&mut self) {
+                if let Some(ptr) = self.0 {
+                    // SAFETY: the allocation was never published.
+                    unsafe { free_key(ptr) };
+                }
+            }
+        }
         let hash = hash_str(key);
         let signature = signature_of(hash);
         let mut index = scale_to_capacity(hash, self.capacity);
-        let mut allocation: Option<*const u8> = None;
-        let outcome = 'probe: {
+        let mut allocation = PendingKey(None);
+        'probe: {
             for _ in 0..self.capacity {
                 let cell = &self.cells[index];
                 loop {
                     let current = Self::load_published(cell);
                     if current == EMPTY {
-                        let ptr = *allocation.get_or_insert_with(|| allocate_key(key, hash));
+                        let ptr = *allocation.0.get_or_insert_with(|| allocate_key(key, hash));
                         let packed = pack_keyref(signature, ptr);
                         match cell.keyref.compare_exchange(
                             EMPTY,
@@ -140,14 +183,33 @@ impl StringKeyTable {
                             Ordering::Acquire,
                         ) {
                             Ok(_) => {
+                                growt_failpoints::fire("string.inflight");
                                 // Publication order (the §5.7 race fix):
                                 // the value is initialized BEFORE the key
                                 // reference becomes visible, so no probe
                                 // can ever act on an unpublished value.
                                 cell.value.store(value, Ordering::Release);
-                                cell.keyref.store(packed, Ordering::Release);
-                                allocation = None;
-                                break 'probe TryInsert::Inserted;
+                                match cell.keyref.compare_exchange(
+                                    INFLIGHT,
+                                    packed,
+                                    Ordering::AcqRel,
+                                    Ordering::Acquire,
+                                ) {
+                                    Ok(_) => {
+                                        allocation.0 = None;
+                                        break 'probe TryInsert::Inserted;
+                                    }
+                                    Err(_) => {
+                                        // We stalled inside the window so
+                                        // long that a probe declared us
+                                        // dead and repaired the cell to a
+                                        // tombstone.  The claim is lost
+                                        // for good (tombstones are never
+                                        // revived); keep the allocation
+                                        // and continue probing.
+                                        break;
+                                    }
+                                }
                             }
                             Err(_) => continue, // re-examine the claimed cell
                         }
@@ -167,13 +229,7 @@ impl StringKeyTable {
                 index = (index + 1) & (self.capacity - 1);
             }
             TryInsert::Full
-        };
-        if let Some(ptr) = allocation {
-            // SAFETY: we created this allocation above and never
-            // published it.
-            unsafe { free_key(ptr) };
         }
-        outcome
     }
 
     /// Look up the value stored for `key`.  A returned value is always
@@ -250,20 +306,36 @@ impl StringKeyTable {
     /// number of *insertions*, or use the growing table, whose cleanup
     /// migrations reclaim tombstones.
     pub fn insert_or_add(&self, key: &str, delta: u64) -> InsertOrUpdate {
+        match self.try_insert_or_add(key, delta) {
+            Ok(outcome) => outcome,
+            Err(growt_iface::TableFull) => panic!(
+                "StringKeyTable is full ({} cells, tombstones included): \
+                 cannot apply insert_or_add",
+                self.capacity
+            ),
+        }
+    }
+
+    /// Fallible [`StringKeyTable::insert_or_add`]: returns
+    /// `Err(TableFull)` instead of panicking when the probe finds neither
+    /// the key nor an empty cell, so callers that can shed load (or
+    /// switch to a bigger table) get to decide.  The delta is *not*
+    /// applied on error.
+    pub fn try_insert_or_add(
+        &self,
+        key: &str,
+        delta: u64,
+    ) -> Result<InsertOrUpdate, growt_iface::TableFull> {
         loop {
             if self.fetch_add(key, delta).is_some() {
-                return InsertOrUpdate::Updated;
+                return Ok(InsertOrUpdate::Updated);
             }
             match self.try_insert(key, delta) {
-                TryInsert::Inserted => return InsertOrUpdate::Inserted,
+                TryInsert::Inserted => return Ok(InsertOrUpdate::Inserted),
                 // The key appeared between the failed add and the insert
                 // probe (or was erased mid-add): retry the add.
                 TryInsert::Present => continue,
-                TryInsert::Full => panic!(
-                    "StringKeyTable is full ({} cells, tombstones included): \
-                     cannot apply insert_or_add",
-                    self.capacity
-                ),
+                TryInsert::Full => return Err(growt_iface::TableFull),
             }
         }
     }
@@ -374,6 +446,16 @@ impl StringMapHandle for StringKeyHandle<'_> {
 
     fn insert_or_add(&mut self, key: &str, delta: u64) -> InsertOrUpdate {
         self.table.insert_or_add(key, delta)
+    }
+
+    fn try_insert_or_add(
+        &mut self,
+        key: &str,
+        delta: u64,
+    ) -> Result<InsertOrUpdate, growt_iface::TryGrowError> {
+        self.table
+            .try_insert_or_add(key, delta)
+            .map_err(|growt_iface::TableFull| growt_iface::TryGrowError)
     }
 
     fn erase(&mut self, key: &str) -> bool {

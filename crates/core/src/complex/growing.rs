@@ -30,7 +30,7 @@
 //!   handled by the counted-pointer scheme; the QSBR domain only guards
 //!   the key allocations, which outlive any single generation.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use growt_iface::{InsertOrUpdate, StringMap, StringMapHandle};
@@ -86,14 +86,21 @@ enum EraseOutcome {
 
 impl StringArray {
     fn new(capacity: usize, version: u64) -> Self {
+        Self::try_new(capacity, version).expect("initial string-table allocation failed")
+    }
+
+    /// Fallible constructor used by migrations: an OOM while allocating
+    /// the next generation degrades to "keep serving the old one" (see
+    /// [`StringInner::grow`]) instead of aborting.
+    fn try_new(capacity: usize, version: u64) -> Result<Self, crate::mem::AllocError> {
         assert!(capacity.is_power_of_two());
-        StringArray {
+        Ok(StringArray {
             // Zeroed cells are `Cell::new()` (EMPTY_KEY, value 0);
             // hugepage-backed once the generation reaches 2 MiB.
-            cells: crate::mem::HugeBox::zeroed(capacity),
+            cells: crate::mem::HugeBox::try_zeroed(capacity)?,
             capacity,
             version,
-        }
+        })
     }
 
     #[inline]
@@ -297,6 +304,14 @@ impl StringArray {
 /// hash stored in the key allocation (the rehash migration path; correct
 /// for any capacity ratio, including cleanup and shrink steps).  Returns
 /// the number of live elements moved.
+///
+/// **Idempotent**: a block may be copied more than once when a rescuer
+/// re-claims the lease of a crashed (or merely stalled) owner.  Marking
+/// is a one-way freeze, so every copy observes the same frozen pairs, and
+/// the placement loop skips a target cell that already holds the same
+/// packed reference — pointer equality identifies the element, since each
+/// key allocation is unique.  Only the copy that actually claims the
+/// empty cell counts the element, so `migrated` stays exact.
 fn migrate_string_block(
     src: &StringArray,
     dst: &StringArray,
@@ -325,19 +340,28 @@ fn migrate_string_block(
                 walked <= dst.capacity,
                 "string migration found no empty target cell"
             );
-            // Writers never touch the target before it is published, and
-            // every source cell holds a distinct key, so claiming an empty
-            // cell is the only synchronization migrators need among
-            // themselves.
-            match dst.cells[pos].cas_pair((EMPTY_KEY, 0), (k, v)) {
-                Ok(()) => break,
-                Err(_) => {
-                    pos = (pos + 1) & (dst.capacity - 1);
-                    walked += 1;
+            let existing = dst.cells[pos].load_key();
+            if existing == k {
+                // An earlier copy of this block already placed the
+                // reference; nothing to do (and nothing to count).
+                break;
+            }
+            if existing == EMPTY_KEY {
+                // Writers never touch the target before it is published,
+                // and every source cell holds a distinct key, so claiming
+                // an empty cell is the only synchronization migrators need
+                // among themselves.
+                match dst.cells[pos].cas_pair((EMPTY_KEY, 0), (k, v)) {
+                    Ok(()) => {
+                        migrated += 1;
+                        break;
+                    }
+                    Err(_) => continue, // re-read the claimed cell
                 }
             }
+            pos = (pos + 1) & (dst.capacity - 1);
+            walked += 1;
         }
-        migrated += 1;
     }
     migrated
 }
@@ -358,6 +382,20 @@ const STATE_IDLE: u64 = 0;
 const STATE_PREPARING: u64 = 1;
 const STATE_MIGRATING: u64 = 2;
 
+/// Per-block lease states (see [`crate::grow`]'s identically-named
+/// constants): a claimed block whose owner unwinds is released back to
+/// FREE by the lease guard and re-copied by a rescuer; DONE has exactly
+/// one winner so `blocks_done` counts each block once.
+const BLOCK_FREE: u8 = 0;
+const BLOCK_CLAIMED: u8 = 1;
+const BLOCK_DONE: u8 = 2;
+
+/// Finalization latch states: one finalizer at a time; an unwound
+/// finalizer resets the latch to IDLE so the next caller retries.
+const FINALIZE_IDLE: u8 = 0;
+const FINALIZE_RUNNING: u8 = 1;
+const FINALIZE_DONE: u8 = 2;
+
 /// All shared, per-migration state.
 struct StringMigration {
     source: Arc<StringArray>,
@@ -368,6 +406,10 @@ struct StringMigration {
     total_blocks: usize,
     block_size: usize,
     migrated: AtomicU64,
+    /// One lease word per block (`BLOCK_FREE`/`BLOCK_CLAIMED`/`BLOCK_DONE`).
+    block_states: Box<[AtomicU8]>,
+    /// Finalization latch (`FINALIZE_*`).
+    finalize_state: AtomicU8,
 }
 
 /// Everything shared between handles and the owner.
@@ -493,9 +535,49 @@ impl Drop for GrowingStringTable {
 impl StringInner {
     /// Request that the generation observed at `observed_version` be
     /// replaced, then help until it has been (enslavement, §5.3.2).
+    ///
+    /// Infallible: when the target array cannot be allocated the old
+    /// generation keeps serving and the attempt is retried with capped
+    /// exponential backoff (graceful degradation, DESIGN.md §12).  Use
+    /// [`StringInner::try_grow`] for the bounded-attempt variant behind
+    /// the `try_*` handle operations.
     fn grow(&self, observed_version: u64) {
+        let mut backoff_us = 50u64;
+        loop {
+            if self.try_grow_once(observed_version).is_ok() {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(backoff_us));
+            backoff_us = (backoff_us * 2).min(5_000);
+        }
+    }
+
+    /// Bounded-attempt growth used by the `try_*` handle operations.
+    fn try_grow(&self, observed_version: u64) -> Result<(), crate::mem::AllocError> {
+        const ATTEMPTS: u32 = 8;
+        let mut backoff_us = 50u64;
+        let mut attempt = 0;
+        loop {
+            match self.try_grow_once(observed_version) {
+                Ok(()) => return Ok(()),
+                Err(error) => {
+                    attempt += 1;
+                    if attempt >= ATTEMPTS {
+                        return Err(error);
+                    }
+                    std::thread::sleep(std::time::Duration::from_micros(backoff_us));
+                    backoff_us = (backoff_us * 2).min(5_000);
+                }
+            }
+        }
+    }
+
+    /// One growth attempt; `Err` reports the allocation failure that kept
+    /// the leader from installing a migration job (the coordinator is
+    /// back in `IDLE` so any thread can retry).
+    fn try_grow_once(&self, observed_version: u64) -> Result<(), crate::mem::AllocError> {
         if self.current.version() != observed_version {
-            return;
+            return Ok(());
         }
         match self.state.compare_exchange(
             STATE_IDLE,
@@ -504,15 +586,39 @@ impl StringInner {
             Ordering::Acquire,
         ) {
             Ok(_) => {
-                if self.current.version() != observed_version {
-                    self.state.store(STATE_IDLE, Ordering::Release);
-                    return;
+                // Leader path: the coordinator must never be left in
+                // PREPARING — the guard restores IDLE if preparation
+                // fails *or unwinds*, so a crashed leader cannot wedge
+                // every later growth attempt.
+                struct PrepareGuard<'i> {
+                    inner: &'i StringInner,
+                    armed: bool,
                 }
-                self.prepare_migration(observed_version);
+                impl Drop for PrepareGuard<'_> {
+                    fn drop(&mut self) {
+                        if self.armed {
+                            self.inner.state.store(STATE_IDLE, Ordering::Release);
+                        }
+                    }
+                }
+                let mut guard = PrepareGuard {
+                    inner: self,
+                    armed: true,
+                };
+                // Re-check staleness now that we own the lock.
+                if self.current.version() != observed_version {
+                    return Ok(());
+                }
+                self.prepare_migration(observed_version)?;
+                guard.armed = false;
                 self.participate();
                 self.wait_until_replaced(observed_version);
+                Ok(())
             }
-            Err(_) => self.help_or_wait(observed_version),
+            Err(_) => {
+                self.help_or_wait(observed_version);
+                Ok(())
+            }
         }
     }
 
@@ -520,8 +626,9 @@ impl StringInner {
     /// job.  The capacity policy is the word table's: grow by at least the
     /// configured factor when the live estimate justifies it, shrink far
     /// below the shrink threshold, otherwise run a cleanup migration that
-    /// only drops tombstones.
-    fn prepare_migration(&self, expected_version: u64) {
+    /// only drops tombstones.  Fallible: an allocation failure leaves the
+    /// table untouched (the caller's guard restores the coordinator).
+    fn prepare_migration(&self, expected_version: u64) -> Result<(), crate::mem::AllocError> {
         let (source, version) = self.current.acquire();
         debug_assert_eq!(version, expected_version);
         let live = self.counts.live_estimate() as usize;
@@ -537,56 +644,208 @@ impl StringInner {
             old_capacity
         };
         let block_size = self.grow.migration_block;
+        let total_blocks = old_capacity.div_ceil(block_size);
+        if growt_failpoints::fire("string.prepare.alloc") {
+            return Err(crate::mem::AllocError {
+                bytes: new_capacity * std::mem::size_of::<Cell>(),
+            });
+        }
+        let target = Arc::new(StringArray::try_new(new_capacity, version + 1)?);
         let job = Arc::new(StringMigration {
-            target: Arc::new(StringArray::new(new_capacity, version + 1)),
+            target,
             expected_version: version,
             next_block: AtomicUsize::new(0),
             blocks_done: AtomicUsize::new(0),
-            total_blocks: old_capacity.div_ceil(block_size),
+            total_blocks,
             block_size,
             migrated: AtomicU64::new(0),
+            block_states: (0..total_blocks)
+                .map(|_| AtomicU8::new(BLOCK_FREE))
+                .collect(),
+            finalize_state: AtomicU8::new(FINALIZE_IDLE),
             source,
         });
         *self.job.lock() = Some(job);
         self.state.store(STATE_MIGRATING, Ordering::Release);
+        Ok(())
     }
 
-    /// Pull migration blocks until none are left; the participant that
-    /// completes the last block finalizes the migration.
+    /// The currently installed migration job, if any.
+    fn current_job(&self) -> Option<Arc<StringMigration>> {
+        self.job.lock().as_ref().map(Arc::clone)
+    }
+
+    /// Pull migration blocks until none are left, then try to finalize.
     fn participate(&self) {
-        let job = {
-            let guard = self.job.lock();
-            match guard.as_ref() {
-                Some(job) => Arc::clone(job),
-                None => return,
-            }
+        let Some(job) = self.current_job() else {
+            return;
         };
-        let capacity = job.source.capacity;
         loop {
             let block = job.next_block.fetch_add(1, Ordering::AcqRel);
             if block >= job.total_blocks {
-                return;
+                break;
             }
-            let start = block * job.block_size;
-            let end = ((block + 1) * job.block_size).min(capacity);
-            let migrated = migrate_string_block(&job.source, &job.target, start, end);
-            job.migrated.fetch_add(migrated as u64, Ordering::AcqRel);
-            let done = job.blocks_done.fetch_add(1, Ordering::AcqRel) + 1;
-            if done == job.total_blocks {
-                self.finalize(&job);
-                return;
+            if job.block_states[block]
+                .compare_exchange(
+                    BLOCK_FREE,
+                    BLOCK_CLAIMED,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_err()
+            {
+                // A rescuer already (re-)claimed this block after its
+                // first owner crashed; the cursor moves on.
+                continue;
+            }
+            self.copy_block(&job, block);
+        }
+        self.maybe_finalize(&job);
+    }
+
+    /// Copy one leased block into the target and complete the lease; the
+    /// lease guard releases the claim if the copy unwinds so a rescuer
+    /// can re-copy the block (idempotently — see
+    /// [`migrate_string_block`]).
+    fn copy_block(&self, job: &Arc<StringMigration>, block: usize) {
+        struct Lease<'j> {
+            job: &'j StringMigration,
+            block: usize,
+            completed: bool,
+        }
+        impl Drop for Lease<'_> {
+            fn drop(&mut self) {
+                if !self.completed {
+                    let _ = self.job.block_states[self.block].compare_exchange(
+                        BLOCK_CLAIMED,
+                        BLOCK_FREE,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    );
+                }
+            }
+        }
+        let mut lease = Lease {
+            job,
+            block,
+            completed: false,
+        };
+        growt_failpoints::fire("string.block.claimed");
+        let capacity = job.source.capacity;
+        let start = block * job.block_size;
+        let end = ((block + 1) * job.block_size).min(capacity);
+        let migrated = migrate_string_block(&job.source, &job.target, start, end);
+        job.migrated.fetch_add(migrated as u64, Ordering::AcqRel);
+        lease.completed = true;
+        if job.block_states[block]
+            .compare_exchange(
+                BLOCK_CLAIMED,
+                BLOCK_DONE,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+        {
+            job.blocks_done.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Rescue pass for a migration that stopped making progress (see the
+    /// word table's identically-named method): re-claim released leases,
+    /// re-copy claimed-but-stalled blocks, then try to finalize.
+    fn rescue_stalled_blocks(&self, job: &Arc<StringMigration>) {
+        for block in 0..job.total_blocks {
+            if self.current.version() != job.expected_version {
+                return; // someone finalized a replacement meanwhile
+            }
+            match job.block_states[block].load(Ordering::Acquire) {
+                BLOCK_DONE => continue,
+                BLOCK_FREE => {
+                    if job.block_states[block]
+                        .compare_exchange(
+                            BLOCK_FREE,
+                            BLOCK_CLAIMED,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        self.copy_block(job, block);
+                    }
+                }
+                _ => {
+                    // CLAIMED: the owner may be alive but descheduled — a
+                    // re-copy is idempotent either way, so make progress
+                    // instead of trying to distinguish.
+                    self.copy_block(job, block);
+                }
+            }
+        }
+        self.maybe_finalize(job);
+    }
+
+    /// Finalize once every block lease is DONE; the latch picks one
+    /// finalizer at a time and a finalizer that unwinds releases it so
+    /// the next caller retries (all steps are idempotent).
+    fn maybe_finalize(&self, job: &Arc<StringMigration>) {
+        while job.blocks_done.load(Ordering::Acquire) >= job.total_blocks {
+            match job.finalize_state.compare_exchange(
+                FINALIZE_IDLE,
+                FINALIZE_RUNNING,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.finalize(job);
+                    return;
+                }
+                Err(FINALIZE_DONE) => return,
+                Err(_) => std::thread::yield_now(),
             }
         }
     }
 
+    /// The single-finalizer body behind the latch: idempotent so a first
+    /// attempt that unwinds can be completed by a retry (the counter
+    /// reset is a plain store, the publish is version-guarded, and the
+    /// job-slot teardown checks that the installed job is still this
+    /// one).
     fn finalize(&self, job: &Arc<StringMigration>) {
+        struct Latch<'j> {
+            job: &'j StringMigration,
+            completed: bool,
+        }
+        impl Drop for Latch<'_> {
+            fn drop(&mut self) {
+                let next = if self.completed {
+                    FINALIZE_DONE
+                } else {
+                    FINALIZE_IDLE
+                };
+                self.job.finalize_state.store(next, Ordering::Release);
+            }
+        }
+        let mut latch = Latch {
+            job,
+            completed: false,
+        };
+        growt_failpoints::fire("string.finalize");
         self.counts
             .reset_after_migration(job.migrated.load(Ordering::Acquire));
-        self.current
+        if self
+            .current
             .publish_if(job.expected_version, Arc::clone(&job.target))
-            .expect("a string migration job can only be finalized once");
-        *self.job.lock() = None;
-        self.migrations_completed.fetch_add(1, Ordering::AcqRel);
+            .is_ok()
+        {
+            self.migrations_completed.fetch_add(1, Ordering::AcqRel);
+        }
+        {
+            let mut slot = self.job.lock();
+            if slot.as_ref().is_some_and(|j| Arc::ptr_eq(j, job)) {
+                *slot = None;
+            }
+        }
+        latch.completed = true;
         self.state.store(STATE_IDLE, Ordering::Release);
     }
 
@@ -610,13 +869,26 @@ impl StringInner {
     }
 
     fn wait_until_replaced(&self, observed_version: u64) {
+        /// Yield iterations before a waiter suspects the migration of
+        /// being wedged and mounts a rescue (see the word table).
+        const RESCUE_PATIENCE: u32 = 4_096;
         let mut spins = 0u32;
         while self.current.version() == observed_version
             && self.state.load(Ordering::Acquire) != STATE_IDLE
         {
-            spins += 1;
+            spins = spins.wrapping_add(1);
             if spins < 64 {
                 std::hint::spin_loop();
+            } else if spins.is_multiple_of(RESCUE_PATIENCE) {
+                // The migration has not completed for a long time: its
+                // participants may have crashed holding block leases or an
+                // unfinished finalization.  Rescue instead of waiting
+                // forever.
+                if let Some(job) = self.current_job() {
+                    if job.expected_version == observed_version {
+                        self.rescue_stalled_blocks(&job);
+                    }
+                }
             } else {
                 std::thread::yield_now();
             }
@@ -636,6 +908,20 @@ unsafe impl Sync for GrowingStringTable {}
 /// amortizes the (mutex-protected) reclamation scan while keeping the
 /// reclamation lag bounded by a few dozen operations per handle.
 const QUIESCE_INTERVAL: u32 = 64;
+
+/// Owns a not-yet-published key allocation across operation retries;
+/// freed on drop — including an unwind out of a migration help call or an
+/// injected fault — so a crashed operation never leaks the key buffer.
+struct PendingAlloc(Option<*const u8>);
+
+impl Drop for PendingAlloc {
+    fn drop(&mut self) {
+        if let Some(ptr) = self.0 {
+            // SAFETY: allocated by this operation and never published.
+            unsafe { free_key(ptr) };
+        }
+    }
+}
 
 /// Per-thread handle of a [`GrowingStringTable`] (§5.1).
 pub struct StringHandle<'a> {
@@ -715,6 +1001,20 @@ impl<'a> StringHandle<'a> {
         }
     }
 
+    /// Best-effort variant of [`StringHandle::after_insert`] for the
+    /// `try_*` operations: a growth trigger that cannot allocate is
+    /// dropped (a later insert re-triggers it) instead of entering the
+    /// infallible backoff loop.
+    #[inline]
+    fn after_insert_best_effort(&mut self, capacity: usize, version: u64) {
+        if let Some((insertions, _)) = self.local.record_insertion(&self.inner.counts) {
+            let threshold = self.inner.grow.grow_threshold * capacity as f64;
+            if insertions as f64 >= threshold {
+                let _ = self.inner.try_grow(version);
+            }
+        }
+    }
+
     #[inline]
     fn after_delete(&mut self) {
         self.local.record_deletion(&self.inner.counts);
@@ -723,11 +1023,11 @@ impl<'a> StringHandle<'a> {
     /// Insert `⟨key, value⟩`; returns `true` iff the key was not present.
     pub fn insert(&mut self, key: &str, value: u64) -> bool {
         let hash = hash_str(key);
-        let mut alloc: Option<*const u8> = None;
+        let mut alloc = PendingAlloc(None);
         let inserted = loop {
             let array = Self::array_ref(&mut self.cached, &mut self.local, self.inner);
             let (capacity, version) = (array.capacity, array.version);
-            match array.insert(hash, key, value, &mut alloc) {
+            match array.insert(hash, key, value, &mut alloc.0) {
                 ArrayOutcome::Inserted => {
                     self.after_insert(capacity, version);
                     break true;
@@ -737,12 +1037,38 @@ impl<'a> StringHandle<'a> {
                 ArrayOutcome::Migrating => self.inner.help_or_wait(version),
             }
         };
-        if let Some(ptr) = alloc {
-            // SAFETY: allocated by this operation and never published.
-            unsafe { free_key(ptr) };
-        }
         self.op_done();
         inserted
+    }
+
+    /// Fallible [`StringHandle::insert`]: when making room would require
+    /// growing and the next generation cannot be allocated within a
+    /// bounded number of retries, returns `Err(TryGrowError)` instead of
+    /// blocking until memory appears.  The element is **not** inserted on
+    /// error; the table stays valid and keeps serving its current
+    /// generation.
+    pub fn try_insert(&mut self, key: &str, value: u64) -> Result<bool, growt_iface::TryGrowError> {
+        let hash = hash_str(key);
+        let mut alloc = PendingAlloc(None);
+        let result = loop {
+            let array = Self::array_ref(&mut self.cached, &mut self.local, self.inner);
+            let (capacity, version) = (array.capacity, array.version);
+            match array.insert(hash, key, value, &mut alloc.0) {
+                ArrayOutcome::Inserted => {
+                    self.after_insert_best_effort(capacity, version);
+                    break Ok(true);
+                }
+                ArrayOutcome::Found(_) | ArrayOutcome::NotFound => break Ok(false),
+                ArrayOutcome::Full => {
+                    if self.inner.try_grow(version).is_err() {
+                        break Err(growt_iface::TryGrowError);
+                    }
+                }
+                ArrayOutcome::Migrating => self.inner.help_or_wait(version),
+            }
+        };
+        self.op_done();
+        result
     }
 
     /// Look up the value stored for `key`.  May run on a slightly stale
@@ -767,6 +1093,8 @@ impl<'a> StringHandle<'a> {
                 ArrayOutcome::Found(old) => break Some(old),
                 ArrayOutcome::NotFound => break None,
                 ArrayOutcome::Migrating => self.inner.help_or_wait(version),
+                // Invariant: `fetch_add` never inserts and reports an
+                // exhausted probe as `NotFound`, not `Full`.
                 ArrayOutcome::Inserted | ArrayOutcome::Full => unreachable!(),
             }
         };
@@ -779,11 +1107,11 @@ impl<'a> StringHandle<'a> {
     /// inserters, eraser or migrations can lose a delta.
     pub fn insert_or_add(&mut self, key: &str, delta: u64) -> InsertOrUpdate {
         let hash = hash_str(key);
-        let mut alloc: Option<*const u8> = None;
+        let mut alloc = PendingAlloc(None);
         let outcome = loop {
             let array = Self::array_ref(&mut self.cached, &mut self.local, self.inner);
             let (capacity, version) = (array.capacity, array.version);
-            match array.upsert_add(hash, key, delta, &mut alloc) {
+            match array.upsert_add(hash, key, delta, &mut alloc.0) {
                 ArrayOutcome::Inserted => {
                     self.after_insert(capacity, version);
                     break InsertOrUpdate::Inserted;
@@ -791,15 +1119,47 @@ impl<'a> StringHandle<'a> {
                 ArrayOutcome::Found(_) => break InsertOrUpdate::Updated,
                 ArrayOutcome::Full => self.inner.grow(version),
                 ArrayOutcome::Migrating => self.inner.help_or_wait(version),
+                // Invariant: `upsert` reports an absent key by inserting
+                // it (or `Full`), never as `NotFound`.
                 ArrayOutcome::NotFound => unreachable!(),
             }
         };
-        if let Some(ptr) = alloc {
-            // SAFETY: allocated by this operation and never published.
-            unsafe { free_key(ptr) };
-        }
         self.op_done();
         outcome
+    }
+
+    /// Fallible [`StringHandle::insert_or_add`]; see
+    /// [`StringHandle::try_insert`] for the error contract.  The delta is
+    /// **not** applied on error.
+    pub fn try_insert_or_add(
+        &mut self,
+        key: &str,
+        delta: u64,
+    ) -> Result<InsertOrUpdate, growt_iface::TryGrowError> {
+        let hash = hash_str(key);
+        let mut alloc = PendingAlloc(None);
+        let result = loop {
+            let array = Self::array_ref(&mut self.cached, &mut self.local, self.inner);
+            let (capacity, version) = (array.capacity, array.version);
+            match array.upsert_add(hash, key, delta, &mut alloc.0) {
+                ArrayOutcome::Inserted => {
+                    self.after_insert_best_effort(capacity, version);
+                    break Ok(InsertOrUpdate::Inserted);
+                }
+                ArrayOutcome::Found(_) => break Ok(InsertOrUpdate::Updated),
+                ArrayOutcome::Full => {
+                    if self.inner.try_grow(version).is_err() {
+                        break Err(growt_iface::TryGrowError);
+                    }
+                }
+                ArrayOutcome::Migrating => self.inner.help_or_wait(version),
+                // Invariant: `upsert` reports an absent key by inserting
+                // it (or `Full`), never as `NotFound`.
+                ArrayOutcome::NotFound => unreachable!(),
+            }
+        };
+        self.op_done();
+        result
     }
 
     /// Delete `key`: tombstone the reference and retire the key
@@ -813,6 +1173,10 @@ impl<'a> StringHandle<'a> {
             match array.erase(hash, key) {
                 EraseOutcome::Erased(ptr) => {
                     self.qsbr.retire(KeyAllocation(ptr));
+                    // A thread dying right after retiring must not strand
+                    // the allocation: the handle's Drop (participant
+                    // unregistration) lets the domain reclaim it.
+                    growt_failpoints::fire("string.erase.retired");
                     self.after_delete();
                     break true;
                 }
@@ -885,6 +1249,18 @@ impl StringMapHandle for StringHandle<'_> {
 
     fn insert_or_add(&mut self, key: &str, delta: u64) -> InsertOrUpdate {
         StringHandle::insert_or_add(self, key, delta)
+    }
+
+    fn try_insert(&mut self, key: &str, value: u64) -> Result<bool, growt_iface::TryGrowError> {
+        StringHandle::try_insert(self, key, value)
+    }
+
+    fn try_insert_or_add(
+        &mut self,
+        key: &str,
+        delta: u64,
+    ) -> Result<InsertOrUpdate, growt_iface::TryGrowError> {
+        StringHandle::try_insert_or_add(self, key, delta)
     }
 
     fn erase(&mut self, key: &str) -> bool {

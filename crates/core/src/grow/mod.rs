@@ -23,7 +23,7 @@
 
 pub(crate) mod pool;
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use growt_reclaim::{CachedArc, VersionedArc};
@@ -131,6 +131,25 @@ const STATE_IDLE: u64 = 0;
 const STATE_PREPARING: u64 = 1;
 const STATE_MIGRATING: u64 = 2;
 
+/// Per-block lease states (crash-tolerant recovery, DESIGN.md §12).  A
+/// block is **leased**, not owned: a participant that unwinds mid-copy
+/// releases its lease (CLAIMED → FREE) through a drop guard, and a
+/// rescuer may re-copy a block whose owner stalled — block copies are
+/// idempotent (see `crate::migrate::place_sequential`), so a block may be
+/// copied any number of times as long as it is *completed* exactly once
+/// (the CLAIMED → DONE transition has a unique winner).
+const BLOCK_FREE: u8 = 0;
+const BLOCK_CLAIMED: u8 = 1;
+const BLOCK_DONE: u8 = 2;
+
+/// Finalization latch states: the latch serializes finalizers while
+/// staying recoverable — a finalizer that unwinds resets the latch to
+/// IDLE so the next participant can retry (every finalization step is
+/// idempotent).
+const FINALIZE_IDLE: u8 = 0;
+const FINALIZE_RUNNING: u8 = 1;
+const FINALIZE_DONE: u8 = 2;
+
 /// All shared, per-migration state.  Participants clone the `Arc`, so a
 /// straggler holding the job of an already finished migration simply finds
 /// its block counter exhausted and leaves without touching a newer
@@ -144,6 +163,10 @@ struct MigrationJob {
     total_blocks: usize,
     block_size: usize,
     migrated: AtomicU64,
+    /// One lease word per block (`BLOCK_FREE`/`BLOCK_CLAIMED`/`BLOCK_DONE`).
+    block_states: Box<[AtomicU8]>,
+    /// Finalization latch (`FINALIZE_*`).
+    finalize_state: AtomicU8,
     /// `true` when the target is smaller than the source (shrink/cleanup
     /// with rehash insertion instead of cluster migration).
     rehash: bool,
@@ -312,13 +335,66 @@ impl Inner {
     // Migration control
     // -----------------------------------------------------------------
 
-    /// Request that the table observed at `observed_version` with
-    /// `observed_capacity` cells be replaced, then help or wait until it
-    /// has been.
+    /// Request that the table observed at `observed_version` be replaced,
+    /// then help or wait until it has been.
+    ///
+    /// Infallible: when the target table cannot be allocated the old
+    /// generation keeps serving and the attempt is retried with capped
+    /// exponential backoff — operations that only need the *old* table
+    /// (finds, updates, erases) are never blocked by the failed growth,
+    /// and a blocked insert becomes a retry loop instead of an abort
+    /// (graceful degradation, DESIGN.md §12).  Use
+    /// [`Inner::try_grow`] for the bounded-attempt variant behind the
+    /// `try_*` handle operations.
     fn grow(&self, observed_version: u64, handle_shared: &HandleShared) {
+        let mut backoff_us = 50u64;
+        loop {
+            if self.try_grow_once(observed_version, handle_shared).is_ok() {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(backoff_us));
+            backoff_us = (backoff_us * 2).min(5_000);
+        }
+    }
+
+    /// Bounded-attempt growth used by the `try_*` handle operations:
+    /// a few short-backoff attempts, then the allocation failure is
+    /// reported to the caller instead of being retried forever.
+    fn try_grow(
+        &self,
+        observed_version: u64,
+        handle_shared: &HandleShared,
+    ) -> Result<(), crate::mem::AllocError> {
+        const ATTEMPTS: u32 = 8;
+        let mut backoff_us = 50u64;
+        let mut attempt = 0;
+        loop {
+            match self.try_grow_once(observed_version, handle_shared) {
+                Ok(()) => return Ok(()),
+                Err(error) => {
+                    attempt += 1;
+                    if attempt >= ATTEMPTS {
+                        return Err(error);
+                    }
+                    std::thread::sleep(std::time::Duration::from_micros(backoff_us));
+                    backoff_us = (backoff_us * 2).min(5_000);
+                }
+            }
+        }
+    }
+
+    /// One growth attempt.  `Ok(())` means the observed generation has been
+    /// (or is being) replaced — or the trigger was stale; `Err` reports the
+    /// allocation failure that kept the leader from installing a migration
+    /// job (the coordinator is back in `IDLE` so any thread can retry).
+    fn try_grow_once(
+        &self,
+        observed_version: u64,
+        handle_shared: &HandleShared,
+    ) -> Result<(), crate::mem::AllocError> {
         // Stale trigger: someone already replaced the table.
         if self.current.version() != observed_version {
-            return;
+            return Ok(());
         }
         match self.coordinator.state.compare_exchange(
             STATE_IDLE,
@@ -327,12 +403,33 @@ impl Inner {
             Ordering::Acquire,
         ) {
             Ok(_) => {
-                // Leader path.  Re-check staleness now that we own the lock.
-                if self.current.version() != observed_version {
-                    self.coordinator.state.store(STATE_IDLE, Ordering::Release);
-                    return;
+                // Leader path.  From here until the job is published the
+                // coordinator must never be left in PREPARING: the guard
+                // restores IDLE (and lowers the growing flag) if
+                // preparation fails *or unwinds*, so a crashed leader
+                // cannot wedge every later growth attempt.
+                struct PrepareGuard<'c> {
+                    coordinator: &'c Coordinator,
+                    armed: bool,
                 }
-                self.prepare_migration(observed_version, handle_shared);
+                impl Drop for PrepareGuard<'_> {
+                    fn drop(&mut self) {
+                        if self.armed {
+                            self.coordinator.growing_flag.store(false, Ordering::SeqCst);
+                            self.coordinator.state.store(STATE_IDLE, Ordering::Release);
+                        }
+                    }
+                }
+                let mut guard = PrepareGuard {
+                    coordinator: &self.coordinator,
+                    armed: true,
+                };
+                // Re-check staleness now that we own the lock.
+                if self.current.version() != observed_version {
+                    return Ok(());
+                }
+                self.prepare_migration(observed_version, handle_shared)?;
+                guard.armed = false;
                 if let Some(pool) = self.pool_shared.lock().as_ref() {
                     pool.signal_migration();
                 }
@@ -341,15 +438,23 @@ impl Inner {
                     GrowStrategy::Pool => {}
                 }
                 self.wait_until_replaced(observed_version);
+                Ok(())
             }
             Err(_) => {
                 self.help_or_wait(observed_version);
+                Ok(())
             }
         }
     }
 
-    /// Leader-only: allocate the target table and publish the migration job.
-    fn prepare_migration(&self, expected_version: u64, leader: &HandleShared) {
+    /// Leader-only: allocate the target table and publish the migration
+    /// job.  Fallible: an allocation failure leaves the table untouched
+    /// (the caller's guard restores the coordinator state).
+    fn prepare_migration(
+        &self,
+        expected_version: u64,
+        leader: &HandleShared,
+    ) -> Result<(), crate::mem::AllocError> {
         if self.synchronized() {
             // RCU-style exclusion (§5.3.2): raise the growing flag, then
             // wait until every registered handle has been observed outside
@@ -390,12 +495,17 @@ impl Inner {
 
         let block_size = self.options.grow.migration_block;
         let total_blocks = old_capacity.div_ceil(block_size);
-        let target = Arc::new(BoundedTable::with_cells_configured(
+        if growt_failpoints::fire("grow.prepare.alloc") {
+            return Err(crate::mem::AllocError {
+                bytes: new_capacity * std::mem::size_of::<crate::cell::Cell>(),
+            });
+        }
+        let target = Arc::new(BoundedTable::try_with_cells_configured(
             new_capacity,
             version + 1,
             source.hash_select(),
             source.probe_select(),
-        ));
+        )?);
         let job = Arc::new(MigrationJob {
             source,
             target,
@@ -405,6 +515,10 @@ impl Inner {
             total_blocks,
             block_size,
             migrated: AtomicU64::new(0),
+            block_states: (0..total_blocks)
+                .map(|_| AtomicU8::new(BLOCK_FREE))
+                .collect(),
+            finalize_state: AtomicU8::new(FINALIZE_IDLE),
             rehash: new_capacity < old_capacity,
             marking: self.marking(),
         });
@@ -412,39 +526,163 @@ impl Inner {
         self.coordinator
             .state
             .store(STATE_MIGRATING, Ordering::Release);
+        Ok(())
+    }
+
+    /// The currently installed migration job, if any.
+    fn current_job(&self) -> Option<Arc<MigrationJob>> {
+        self.coordinator.job.lock().as_ref().map(Arc::clone)
     }
 
     /// Pull migration blocks until none are left; the participant that
     /// completes the last block finalizes the migration.
     pub(crate) fn participate(&self) {
-        let job = {
-            let guard = self.coordinator.job.lock();
-            match guard.as_ref() {
-                Some(job) => Arc::clone(job),
-                None => return,
-            }
+        let Some(job) = self.current_job() else {
+            return;
         };
-        let capacity = job.source.capacity();
+        // Phase 1: deal out fresh blocks through the shared cursor.
         loop {
             let block = job.next_block.fetch_add(1, Ordering::AcqRel);
             if block >= job.total_blocks {
-                return;
+                break;
             }
-            let start = block * job.block_size;
-            let end = ((block + 1) * job.block_size).min(capacity);
-            let migrated = if job.rehash {
-                migrate_block_rehash(&job.source, &job.target, start, end, job.marking)
-            } else if job.marking {
-                migrate_block_marking(&job.source, &job.target, start, end)
-            } else {
-                migrate_block_exclusive(&job.source, &job.target, start, end)
-            };
-            job.migrated.fetch_add(migrated as u64, Ordering::AcqRel);
-            let done = job.blocks_done.fetch_add(1, Ordering::AcqRel) + 1;
-            if done == job.total_blocks {
-                self.recover_if_degenerate(&job);
-                self.finalize(&job);
-                return;
+            if job.block_states[block]
+                .compare_exchange(
+                    BLOCK_FREE,
+                    BLOCK_CLAIMED,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_err()
+            {
+                // A rescuer already (re-)claimed this block after its first
+                // owner crashed and released the lease; the cursor moves on.
+                continue;
+            }
+            self.copy_block(&job, block);
+        }
+        self.maybe_finalize(&job);
+    }
+
+    /// Copy one leased block into the target and complete the lease.
+    ///
+    /// The lease guard releases the claim (CLAIMED → FREE) if the copy
+    /// unwinds — an injected fault or an allocation panic inside the copy
+    /// must not strand the block forever; a rescuer will re-claim and
+    /// re-copy it (idempotently).  Completion (CLAIMED → DONE) has exactly
+    /// one winner even when a stalled owner races its own rescuer, so
+    /// `blocks_done` counts every block exactly once.
+    fn copy_block(&self, job: &Arc<MigrationJob>, block: usize) {
+        struct Lease<'j> {
+            job: &'j MigrationJob,
+            block: usize,
+            completed: bool,
+        }
+        impl Drop for Lease<'_> {
+            fn drop(&mut self) {
+                if !self.completed {
+                    let _ = self.job.block_states[self.block].compare_exchange(
+                        BLOCK_CLAIMED,
+                        BLOCK_FREE,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    );
+                }
+            }
+        }
+        let mut lease = Lease {
+            job,
+            block,
+            completed: false,
+        };
+        growt_failpoints::fire("grow.block.claimed");
+        let capacity = job.source.capacity();
+        let start = block * job.block_size;
+        let end = ((block + 1) * job.block_size).min(capacity);
+        let migrated = if job.rehash {
+            migrate_block_rehash(&job.source, &job.target, start, end, job.marking)
+        } else if job.marking {
+            migrate_block_marking(&job.source, &job.target, start, end)
+        } else {
+            migrate_block_exclusive(&job.source, &job.target, start, end)
+        };
+        job.migrated.fetch_add(migrated as u64, Ordering::AcqRel);
+        lease.completed = true;
+        if job.block_states[block]
+            .compare_exchange(
+                BLOCK_CLAIMED,
+                BLOCK_DONE,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+        {
+            job.blocks_done.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Rescue pass for a migration that stopped making progress: re-claim
+    /// released leases and re-copy claimed-but-stalled blocks, then try to
+    /// finalize.  Entered from [`Inner::wait_until_replaced`] after a long
+    /// patience window, so in the fault-free case it never runs; when it
+    /// does, re-copying a block whose owner is merely slow (rather than
+    /// dead) is wasteful but safe — copies are idempotent and completion
+    /// has a single winner.
+    fn rescue_stalled_blocks(&self, job: &Arc<MigrationJob>) {
+        for block in 0..job.total_blocks {
+            if self.current.version() != job.expected_version {
+                return; // someone finalized a replacement meanwhile
+            }
+            match job.block_states[block].load(Ordering::Acquire) {
+                BLOCK_DONE => continue,
+                BLOCK_FREE => {
+                    // Released by a crashed owner's lease guard (or never
+                    // dealt out because the owner died between the cursor
+                    // fetch-add and the claim).
+                    if job.block_states[block]
+                        .compare_exchange(
+                            BLOCK_FREE,
+                            BLOCK_CLAIMED,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        self.copy_block(job, block);
+                    }
+                }
+                _ => {
+                    // CLAIMED: the owner may be alive but descheduled — a
+                    // re-copy is idempotent either way, so make progress
+                    // instead of trying to distinguish.
+                    self.copy_block(job, block);
+                }
+            }
+        }
+        self.maybe_finalize(job);
+    }
+
+    /// Finalize the migration once every block lease is DONE.  Re-entrant:
+    /// any number of participants may call this; the latch picks one
+    /// finalizer at a time, and a finalizer that unwinds releases the
+    /// latch so the next caller retries (all finalization steps are
+    /// idempotent — the generation publish is version-guarded).
+    fn maybe_finalize(&self, job: &Arc<MigrationJob>) {
+        while job.blocks_done.load(Ordering::Acquire) >= job.total_blocks {
+            match job.finalize_state.compare_exchange(
+                FINALIZE_IDLE,
+                FINALIZE_RUNNING,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.finalize(job);
+                    return;
+                }
+                Err(FINALIZE_DONE) => return,
+                // Another finalizer is mid-flight: wait for it to either
+                // finish (DONE) or unwind (back to IDLE, then we retry).
+                Err(_) => std::thread::yield_now(),
             }
         }
     }
@@ -476,21 +714,56 @@ impl Inner {
         job.migrated.fetch_add(recovered as u64, Ordering::AcqRel);
     }
 
+    /// The single-finalizer body behind the latch in
+    /// [`Inner::maybe_finalize`].  Idempotent by construction so that a
+    /// first attempt that unwinds (injected fault) can be completed by a
+    /// retry: the counter reset is a plain store, the publish is guarded
+    /// by the expected version, and the coordinator teardown checks that
+    /// the installed job is still this one.
     fn finalize(&self, job: &Arc<MigrationJob>) {
+        struct Latch<'j> {
+            job: &'j MigrationJob,
+            completed: bool,
+        }
+        impl Drop for Latch<'_> {
+            fn drop(&mut self) {
+                let next = if self.completed {
+                    FINALIZE_DONE
+                } else {
+                    FINALIZE_IDLE
+                };
+                self.job.finalize_state.store(next, Ordering::Release);
+            }
+        }
+        let mut latch = Latch {
+            job,
+            completed: false,
+        };
+        growt_failpoints::fire("grow.finalize");
+        self.recover_if_degenerate(job);
         // All blocks are migrated: no writer can still succeed on the old
         // table (every cell is frozen under the marking protocol; under the
         // synchronized protocol the growing flag excludes writers), so the
         // counters can be reset before the new table becomes visible.
         self.counts
             .reset_after_migration(job.migrated.load(Ordering::Acquire));
-        self.current
+        if self
+            .current
             .publish_if(job.expected_version, Arc::clone(&job.target))
-            .expect("a migration job can only be finalized once");
-        *self.coordinator.job.lock() = None;
+            .is_ok()
+        {
+            self.coordinator
+                .migrations_completed
+                .fetch_add(1, Ordering::AcqRel);
+        }
+        {
+            let mut slot = self.coordinator.job.lock();
+            if slot.as_ref().is_some_and(|j| Arc::ptr_eq(j, job)) {
+                *slot = None;
+            }
+        }
         self.coordinator.growing_flag.store(false, Ordering::SeqCst);
-        self.coordinator
-            .migrations_completed
-            .fetch_add(1, Ordering::AcqRel);
+        latch.completed = true;
         self.coordinator.state.store(STATE_IDLE, Ordering::Release);
     }
 
@@ -522,13 +795,31 @@ impl Inner {
     }
 
     fn wait_until_replaced(&self, observed_version: u64) {
+        /// Yield iterations before a waiter suspects the migration of
+        /// being wedged and mounts a rescue (then again every this-many
+        /// iterations).  Large enough that a healthy migration always
+        /// finishes first, small enough that an abandoned one recovers in
+        /// milliseconds.
+        const RESCUE_PATIENCE: u32 = 4_096;
         let mut spins = 0u32;
         while self.current.version() == observed_version
             && self.coordinator.state.load(Ordering::Acquire) != STATE_IDLE
         {
-            spins += 1;
+            spins = spins.wrapping_add(1);
             if spins < 64 {
                 std::hint::spin_loop();
+            } else if spins.is_multiple_of(RESCUE_PATIENCE) {
+                // The migration has not completed for a long time: its
+                // participants may have crashed holding block leases or an
+                // unfinished finalization.  Rescue instead of waiting
+                // forever (this also recruits waiting application threads
+                // under the Pool strategy — a documented deviation that
+                // only matters when the pool itself died; DESIGN.md §12).
+                if let Some(job) = self.current_job() {
+                    if job.expected_version == observed_version {
+                        self.rescue_stalled_blocks(&job);
+                    }
+                }
             } else {
                 std::thread::yield_now();
             }
@@ -566,6 +857,22 @@ impl Inner {
         shared.busy.store(0, Ordering::Release);
         let mut handles = self.handles.lock();
         handles.retain(|h| !Arc::ptr_eq(h, shared));
+    }
+}
+
+/// RAII busy-flag guard of the synchronized protocol (see
+/// [`GrowHandle::begin_op`]).  `shared` is `None` under the marking
+/// protocol, where operations need no busy window.
+struct BusyGuard<'s> {
+    shared: Option<&'s HandleShared>,
+}
+
+impl Drop for BusyGuard<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(shared) = self.shared {
+            shared.busy.store(0, Ordering::Release);
+        }
     }
 }
 
@@ -630,27 +937,34 @@ impl<'a> GrowHandle<'a> {
 
     /// Synchronized-protocol prologue: announce the operation and make sure
     /// no migration is running.  No-op for the marking protocol.
+    ///
+    /// Returns an RAII guard that lowers the busy flag when dropped —
+    /// **including on unwind**.  A panicking user closure (or an injected
+    /// fault) inside the operation must not leave the flag raised: a
+    /// migration leader spin-waits on every registered handle's busy flag
+    /// for quiescence, so a stuck flag would wedge all future growth.
+    /// An associated function over disjoint handle fields (not `&mut
+    /// self`) so operations can keep borrowing the table cache while the
+    /// guard is live.
     #[inline]
-    fn begin_op(&mut self) {
-        if !self.inner.synchronized() {
-            return;
+    fn begin_op<'s>(
+        inner: &Inner,
+        shared: &'s HandleShared,
+        cached: &CachedArc<BoundedTable>,
+    ) -> BusyGuard<'s> {
+        if !inner.synchronized() {
+            return BusyGuard { shared: None };
         }
         loop {
-            self.shared.busy.store(1, Ordering::SeqCst);
-            if self.inner.coordinator.growing_flag.load(Ordering::SeqCst) {
-                self.shared.busy.store(0, Ordering::SeqCst);
-                let version = self.cached.cached_version();
-                self.inner.help_or_wait(version);
+            shared.busy.store(1, Ordering::SeqCst);
+            if inner.coordinator.growing_flag.load(Ordering::SeqCst) {
+                shared.busy.store(0, Ordering::SeqCst);
+                inner.help_or_wait(cached.cached_version());
                 continue;
             }
-            break;
-        }
-    }
-
-    #[inline]
-    fn end_op(&mut self) {
-        if self.inner.synchronized() {
-            self.shared.busy.store(0, Ordering::Release);
+            return BusyGuard {
+                shared: Some(shared),
+            };
         }
     }
 
@@ -662,6 +976,21 @@ impl<'a> GrowHandle<'a> {
             let threshold = self.inner.options.grow.grow_threshold * capacity as f64;
             if insertions as f64 >= threshold {
                 self.inner.grow(version, &self.shared);
+            }
+        }
+    }
+
+    /// [`GrowHandle::after_insert`] for the `try_*` operations: the insert
+    /// itself already succeeded, so a threshold-triggered growth that fails
+    /// to allocate is simply dropped — a later operation's trigger (or an
+    /// explicit retry) will re-attempt it.  This keeps `try_*` calls from
+    /// blocking in the infallible backoff loop.
+    #[inline]
+    fn after_insert_best_effort(&mut self, capacity: usize, version: u64) {
+        if let Some((insertions, _)) = self.local.record_insertion(&self.inner.counts) {
+            let threshold = self.inner.options.grow.grow_threshold * capacity as f64;
+            if insertions as f64 >= threshold {
+                let _ = self.inner.try_grow(version, &self.shared);
             }
         }
     }
@@ -679,11 +1008,13 @@ impl<'a> GrowHandle<'a> {
         );
         let inner = self.inner;
         loop {
-            self.begin_op();
-            let table = Self::table_ref(&mut self.cached, &mut self.local, inner);
-            let (capacity, version) = (table.capacity(), table.version());
-            let outcome = inner.with_htm(table, key, || table.insert(key, value));
-            self.end_op();
+            let (capacity, version, outcome) = {
+                let _busy = Self::begin_op(inner, self.shared.as_ref(), &self.cached);
+                let table = Self::table_ref(&mut self.cached, &mut self.local, inner);
+                let (capacity, version) = (table.capacity(), table.version());
+                let outcome = inner.with_htm(table, key, || table.insert(key, value));
+                (capacity, version, outcome)
+            };
             match outcome {
                 InsertOutcome::Inserted { .. } => {
                     self.after_insert(capacity, version);
@@ -696,6 +1027,80 @@ impl<'a> GrowHandle<'a> {
                 InsertOutcome::Migrating => {
                     inner.help_or_wait(version);
                 }
+            }
+        }
+    }
+
+    /// Fallible insert: like [`GrowHandle::insert`], but when the table is
+    /// full and the replacement generation cannot be allocated (after a few
+    /// short-backoff attempts) the error is reported instead of retrying
+    /// forever.  The table keeps serving from the old generation; the
+    /// caller decides whether to shed load, wait, or retry.
+    pub fn try_insert(&mut self, key: u64, value: u64) -> Result<bool, growt_iface::TryGrowError> {
+        assert!(
+            (2..=MAX_MARKABLE_KEY).contains(&key),
+            "key {key} is reserved"
+        );
+        let inner = self.inner;
+        loop {
+            let (capacity, version, outcome) = {
+                let _busy = Self::begin_op(inner, self.shared.as_ref(), &self.cached);
+                let table = Self::table_ref(&mut self.cached, &mut self.local, inner);
+                let (capacity, version) = (table.capacity(), table.version());
+                let outcome = inner.with_htm(table, key, || table.insert(key, value));
+                (capacity, version, outcome)
+            };
+            match outcome {
+                InsertOutcome::Inserted { .. } => {
+                    self.after_insert_best_effort(capacity, version);
+                    return Ok(true);
+                }
+                InsertOutcome::AlreadyPresent => return Ok(false),
+                InsertOutcome::Full => {
+                    if inner.try_grow(version, &self.shared).is_err() {
+                        return Err(growt_iface::TryGrowError);
+                    }
+                }
+                InsertOutcome::Migrating => {
+                    inner.help_or_wait(version);
+                }
+            }
+        }
+    }
+
+    /// Fallible insert-or-update (see [`GrowHandle::try_insert`] for the
+    /// error contract).
+    pub fn try_insert_or_update(
+        &mut self,
+        key: u64,
+        d: u64,
+        up: impl Fn(u64, u64) -> u64 + Copy,
+    ) -> Result<bool, growt_iface::TryGrowError> {
+        assert!(
+            (2..=MAX_MARKABLE_KEY).contains(&key),
+            "key {key} is reserved"
+        );
+        let inner = self.inner;
+        loop {
+            let (capacity, version, outcome) = {
+                let _busy = Self::begin_op(inner, self.shared.as_ref(), &self.cached);
+                let table = Self::table_ref(&mut self.cached, &mut self.local, inner);
+                let (capacity, version) = (table.capacity(), table.version());
+                let outcome = inner.with_htm(table, key, || table.upsert_with(key, d, up));
+                (capacity, version, outcome)
+            };
+            match outcome {
+                UpsertOutcome::Inserted => {
+                    self.after_insert_best_effort(capacity, version);
+                    return Ok(true);
+                }
+                UpsertOutcome::Updated => return Ok(false),
+                UpsertOutcome::Full => {
+                    if inner.try_grow(version, &self.shared).is_err() {
+                        return Err(growt_iface::TryGrowError);
+                    }
+                }
+                UpsertOutcome::Migrating => inner.help_or_wait(version),
             }
         }
     }
@@ -720,18 +1125,21 @@ impl<'a> GrowHandle<'a> {
     pub fn update(&mut self, key: u64, d: u64, up: impl Fn(u64, u64) -> u64 + Copy) -> bool {
         let inner = self.inner;
         if inner.synchronized() && inner.htm.is_none() {
-            self.begin_op();
-            let table = Self::table_ref(&mut self.cached, &mut self.local, inner);
-            let outcome = table.update_value_cas_unsynchronized(key, d, up);
-            self.end_op();
+            let outcome = {
+                let _busy = Self::begin_op(inner, self.shared.as_ref(), &self.cached);
+                let table = Self::table_ref(&mut self.cached, &mut self.local, inner);
+                table.update_value_cas_unsynchronized(key, d, up)
+            };
             return outcome == UpdateOutcome::Updated;
         }
         loop {
-            self.begin_op();
-            let table = Self::table_ref(&mut self.cached, &mut self.local, inner);
-            let version = table.version();
-            let outcome = inner.with_htm(table, key, || table.update_with(key, d, up));
-            self.end_op();
+            let (version, outcome) = {
+                let _busy = Self::begin_op(inner, self.shared.as_ref(), &self.cached);
+                let table = Self::table_ref(&mut self.cached, &mut self.local, inner);
+                let version = table.version();
+                let outcome = inner.with_htm(table, key, || table.update_with(key, d, up));
+                (version, outcome)
+            };
             match outcome {
                 UpdateOutcome::Updated => return true,
                 UpdateOutcome::NotFound => return false,
@@ -746,10 +1154,11 @@ impl<'a> GrowHandle<'a> {
     pub fn update_overwrite(&mut self, key: u64, value: u64) -> bool {
         let inner = self.inner;
         if inner.synchronized() {
-            self.begin_op();
-            let table = Self::table_ref(&mut self.cached, &mut self.local, inner);
-            let outcome = table.update_overwrite_unsynchronized(key, value);
-            self.end_op();
+            let outcome = {
+                let _busy = Self::begin_op(inner, self.shared.as_ref(), &self.cached);
+                let table = Self::table_ref(&mut self.cached, &mut self.local, inner);
+                table.update_overwrite_unsynchronized(key, value)
+            };
             outcome == UpdateOutcome::Updated
         } else {
             self.update(key, value, |_cur, new| new)
@@ -770,11 +1179,13 @@ impl<'a> GrowHandle<'a> {
         );
         let inner = self.inner;
         loop {
-            self.begin_op();
-            let table = Self::table_ref(&mut self.cached, &mut self.local, inner);
-            let (capacity, version) = (table.capacity(), table.version());
-            let outcome = inner.with_htm(table, key, || table.upsert_with(key, d, up));
-            self.end_op();
+            let (capacity, version, outcome) = {
+                let _busy = Self::begin_op(inner, self.shared.as_ref(), &self.cached);
+                let table = Self::table_ref(&mut self.cached, &mut self.local, inner);
+                let (capacity, version) = (table.capacity(), table.version());
+                let outcome = inner.with_htm(table, key, || table.upsert_with(key, d, up));
+                (capacity, version, outcome)
+            };
             match outcome {
                 UpsertOutcome::Inserted => {
                     self.after_insert(capacity, version);
@@ -797,11 +1208,13 @@ impl<'a> GrowHandle<'a> {
             );
             let inner = self.inner;
             loop {
-                self.begin_op();
-                let table = Self::table_ref(&mut self.cached, &mut self.local, inner);
-                let (capacity, version) = (table.capacity(), table.version());
-                let outcome = table.upsert_fetch_add_unsynchronized(key, d);
-                self.end_op();
+                let (capacity, version, outcome) = {
+                    let _busy = Self::begin_op(inner, self.shared.as_ref(), &self.cached);
+                    let table = Self::table_ref(&mut self.cached, &mut self.local, inner);
+                    let (capacity, version) = (table.capacity(), table.version());
+                    let outcome = table.upsert_fetch_add_unsynchronized(key, d);
+                    (capacity, version, outcome)
+                };
                 match outcome {
                     UpsertOutcome::Inserted => {
                         self.after_insert(capacity, version);
@@ -821,11 +1234,13 @@ impl<'a> GrowHandle<'a> {
     pub fn erase(&mut self, key: u64) -> bool {
         let inner = self.inner;
         loop {
-            self.begin_op();
-            let table = Self::table_ref(&mut self.cached, &mut self.local, inner);
-            let version = table.version();
-            let outcome = table.erase(key);
-            self.end_op();
+            let (version, outcome) = {
+                let _busy = Self::begin_op(inner, self.shared.as_ref(), &self.cached);
+                let table = Self::table_ref(&mut self.cached, &mut self.local, inner);
+                let version = table.version();
+                let outcome = table.erase(key);
+                (version, outcome)
+            };
             match outcome {
                 EraseOutcome::Erased => {
                     self.after_delete();
@@ -967,16 +1382,15 @@ impl<'a> GrowHandle<'a> {
             loop {
                 outcomes.clear();
                 outcomes.resize(pending.len(), default_outcome);
-                self.begin_op();
                 // Borrowed, not cloned: the whole segment runs on one table
                 // borrow, with (capacity, version) captured up front so the
                 // classification loop below can use `&mut self` freely.
                 let (capacity, version) = {
+                    let _busy = Self::begin_op(inner, self.shared.as_ref(), &self.cached);
                     let table = Self::table_ref(&mut self.cached, &mut self.local, inner);
                     exec(table, &pending, &mut outcomes);
                     (table.capacity(), table.version())
                 };
-                self.end_op();
                 let mut need_grow = false;
                 let mut write = 0usize;
                 for read in 0..pending.len() {

@@ -61,14 +61,24 @@ pub(crate) struct MigrationPool {
 
 impl MigrationPool {
     /// Spawn `threads` workers executing `work` once per wake-up.
+    ///
+    /// Degrades gracefully when the OS refuses to spawn (thread-count or
+    /// memory limits): the pool runs with however many workers could be
+    /// created — including **zero**.  Migrations still complete in that
+    /// case because application threads waiting for a replacement mount a
+    /// rescue after a patience window (`Inner::wait_until_replaced`); they
+    /// are just no longer asynchronous to the waiters.
     pub(crate) fn spawn<F>(threads: usize, work: F) -> Self
     where
         F: Fn() + Send + Sync + 'static,
     {
         let shared = Arc::new(PoolShared::new());
         let work = Arc::new(work);
-        let workers = (0..threads.max(1))
-            .map(|i| {
+        let workers: Vec<JoinHandle<()>> = (0..threads.max(1))
+            .map_while(|i| {
+                if growt_failpoints::fire("pool.spawn") {
+                    return None;
+                }
                 let shared = Arc::clone(&shared);
                 let work = Arc::clone(&work);
                 std::thread::Builder::new()
@@ -93,7 +103,7 @@ impl MigrationPool {
                             shared.active_workers.fetch_sub(1, Ordering::AcqRel);
                         }
                     })
-                    .expect("failed to spawn migration worker")
+                    .ok()
             })
             .collect();
         MigrationPool { shared, workers }

@@ -14,7 +14,7 @@
 //! construction loop runs for table generations, the dominant allocation
 //! of every growing migration.
 //!
-//! Fallback matrix (every step degrades gracefully, never fails):
+//! Fallback matrix (every step degrades gracefully):
 //!
 //! | condition                                   | behaviour                     |
 //! |---------------------------------------------|-------------------------------|
@@ -24,6 +24,7 @@
 //! | `mmap` fails (e.g. overcommit limit)        | global allocator (zeroed)     |
 //! | `madvise` fails (THP disabled)              | keep the mapping, plain pages |
 //! | `mbind` fails / single node / > 64 nodes    | keep the mapping, no policy   |
+//! | global allocator also fails                 | `try_zeroed` → [`AllocError`]; `zeroed` aborts (OOM policy) |
 //!
 //! With the `numa-interleave` cargo feature the mapping is additionally
 //! bound with `mbind(MPOL_INTERLEAVE)` across all online NUMA nodes, so
@@ -37,6 +38,33 @@
 use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
 use std::ops::Deref;
 use std::ptr::NonNull;
+
+/// A backing-slice allocation failed: the requested layout could not be
+/// satisfied by either the mapping path or the global allocator (or an
+/// injected `mem.hugebox.alloc` failpoint simulated exactly that).
+///
+/// Surfaced by [`HugeBox::try_zeroed`]; the infallible [`HugeBox::zeroed`]
+/// maps it to the global allocator's abort path instead.  Callers that can
+/// degrade — the growing tables keep serving their current generation when
+/// the next one cannot be allocated — use the `try_` constructor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocError {
+    /// Requested allocation size in bytes (`usize::MAX` when the layout
+    /// itself overflowed).
+    pub bytes: usize,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "failed to allocate {} bytes of table storage",
+            self.bytes
+        )
+    }
+}
+
+impl std::error::Error for AllocError {}
 
 /// Minimum allocation size (in bytes) that is backed by a hugepage-hinted
 /// mapping: the x86-64 huge page size.  Below it a mapping could never be
@@ -92,43 +120,72 @@ unsafe impl<T: Send> Send for HugeBox<T> {}
 unsafe impl<T: Sync> Sync for HugeBox<T> {}
 
 impl<T: ZeroInit> HugeBox<T> {
-    /// Allocate a zero-initialized slice of `len` elements.
+    /// Allocate a zero-initialized slice of `len` elements, aborting the
+    /// process on allocation failure (the global allocator's OOM policy).
+    ///
+    /// Bounded tables built once at startup keep this loud behavior; the
+    /// growing tables allocate their next generations through
+    /// [`HugeBox::try_zeroed`] so an OOM during a migration degrades to
+    /// "keep serving the old generation" instead of aborting.
     pub fn zeroed(len: usize) -> Self {
-        let layout = Layout::array::<T>(len).expect("allocation size overflow");
+        match Self::try_zeroed(len) {
+            Ok(slice) => slice,
+            Err(_) => {
+                let layout = Layout::array::<T>(len).expect("allocation size overflow");
+                handle_alloc_error(layout)
+            }
+        }
+    }
+
+    /// Fallible variant of [`HugeBox::zeroed`]: returns [`AllocError`]
+    /// when neither the mapping path nor the global allocator can satisfy
+    /// the request (checked via the non-aborting `alloc_zeroed` result),
+    /// or when the `mem.hugebox.alloc` failpoint injects a failure.
+    pub fn try_zeroed(len: usize) -> Result<Self, AllocError> {
+        let Ok(layout) = Layout::array::<T>(len) else {
+            return Err(AllocError { bytes: usize::MAX });
+        };
         assert!(
             layout.align() <= 4096,
             "HugeBox element alignment exceeds the page size"
         );
         if layout.size() == 0 {
-            return HugeBox {
+            return Ok(HugeBox {
                 ptr: NonNull::dangling(),
                 len,
                 mapped_bytes: 0,
-            };
+            });
+        }
+        if growt_failpoints::fire("mem.hugebox.alloc") {
+            return Err(AllocError {
+                bytes: layout.size(),
+            });
         }
         if layout.size() >= HUGEPAGE_THRESHOLD && !hugepages_disabled() {
             // Round the mapping up to whole huge pages: a 2 MB-aligned
             // length is what khugepaged can actually collapse.
             let mapped_bytes = layout.size().div_ceil(HUGEPAGE_THRESHOLD) * HUGEPAGE_THRESHOLD;
             if let Some(ptr) = sys::map_hugepage_hinted(mapped_bytes) {
-                return HugeBox {
+                return Ok(HugeBox {
                     ptr: ptr.cast(),
                     len,
                     mapped_bytes,
-                };
+                });
             }
         }
         // SAFETY: layout has non-zero size; ZeroInit guarantees the zeroed
         // block is a valid [T; len].
         let raw = unsafe { alloc_zeroed(layout) };
         let Some(ptr) = NonNull::new(raw.cast::<T>()) else {
-            handle_alloc_error(layout)
+            return Err(AllocError {
+                bytes: layout.size(),
+            });
         };
-        HugeBox {
+        Ok(HugeBox {
             ptr,
             len,
             mapped_bytes: 0,
-        }
+        })
     }
 
     /// `true` when the slice is backed by a hugepage-hinted mapping (used
@@ -153,6 +210,9 @@ impl<T> Drop for HugeBox<T> {
         if self.mapped_bytes != 0 {
             sys::unmap(self.ptr.cast(), self.mapped_bytes);
         } else if self.len != 0 && std::mem::size_of::<T>() != 0 {
+            // Invariant, not a reachable failure: the same `Layout::array`
+            // succeeded in `try_zeroed` for this very `len`, or the box
+            // would not exist.
             let layout = Layout::array::<T>(self.len).expect("layout re-derivation");
             // SAFETY: allocated with alloc_zeroed and this exact layout.
             unsafe { dealloc(self.ptr.as_ptr().cast(), layout) };
@@ -330,6 +390,14 @@ mod tests {
         let b: HugeBox<u64> = HugeBox::zeroed(0);
         assert_eq!(b.len(), 0);
         assert!(!b.is_mapped());
+    }
+
+    #[test]
+    fn try_zeroed_succeeds_and_reports_layout_overflow() {
+        let b: HugeBox<u64> = HugeBox::try_zeroed(256).expect("plain allocation");
+        assert!(b.iter().all(|&x| x == 0));
+        let overflow = HugeBox::<u64>::try_zeroed(usize::MAX / 2);
+        assert!(overflow.is_err(), "layout overflow must be a typed error");
     }
 
     #[test]

@@ -6,8 +6,17 @@
 //! `h_c(x) = ⌊h(x)·c/U⌋` and a growth factor γ ≥ 1, every maximal run of
 //! non-empty cells (a **cluster**) maps into a target range that no other
 //! cluster can touch.  Clusters can therefore be migrated completely
-//! independently, with plain stores into the target table and no
-//! synchronization between migrating threads.
+//! independently and without coordination between migrating threads.
+//!
+//! Deviation from the paper for crash tolerance: placements into the
+//! target use a double-word CAS from the empty pair plus a same-key skip
+//! (see [`place_sequential`]) instead of plain stores.  This makes block
+//! copies *idempotent*, which is what lets the growing table re-copy a
+//! block whose owner crashed or stalled mid-migration (DESIGN.md §12).
+//! The CAS is uncontended in the fault-free case — Lemma 1 still
+//! guarantees a single owner per target range unless a block is being
+//! re-copied — so the cost over a plain store is a few percent of
+//! migration bandwidth, invisible at the operation level.
 //!
 //! Work is dealt out in blocks of [`crate::config::MIGRATION_BLOCK`] cells;
 //! a thread that grabs block `d..e` migrates exactly those clusters that
@@ -78,25 +87,52 @@ fn freeze(src: &BoundedTable, index: usize, mode: FreezeMode) -> (u64, u64) {
     }
 }
 
-/// Place one live element into `dst` by sequential linear probing.  The
-/// caller owns the whole target range of the current cluster (Lemma 1), so
-/// unsynchronized stores are sufficient; the probe only reads cells this
-/// thread itself may have written.
+/// Place one live element into `dst` by sequential linear probing.  Returns
+/// `true` if this call actually placed the element, `false` if an earlier
+/// copy of the same block already had.
+///
+/// Placement is **idempotent**: a block whose owner crashed (or stalled)
+/// mid-copy can be re-copied by a rescuing thread without creating
+/// duplicates.  Two mechanisms make the re-copy safe:
+///
+/// * the probe skips a cell that already holds `key` (a previous copy of
+///   this block placed it), and
+/// * empty cells are claimed with a double-word CAS, so two concurrent
+///   copies of the same cluster race cleanly — the loser re-reads the cell
+///   and finds the key published.
+///
+/// Because every copy of a block freezes the same source cells and walks
+/// the same clusters in the same order, all copies attempt the identical
+/// placement sequence; the CAS therefore only ever loses to *itself*
+/// (prefix determinism, DESIGN.md §12), and the final layout equals the
+/// sequential migration layout regardless of how many times the block was
+/// copied.
 #[inline]
-fn place_sequential(dst: &BoundedTable, key: u64, value: u64) {
+fn place_sequential(dst: &BoundedTable, key: u64, value: u64) -> bool {
     let capacity = dst.capacity();
     // `home_cell` uses the destination table's own hash selection, so the
     // migration stays correct for CRC-hashed tables too.
     let mut pos = dst.home_cell(key);
     loop {
-        if dst.cell(pos).load_key() == EMPTY_KEY {
-            dst.cell(pos).store_unsynchronized(key, value);
-            // Keep the destination's signature stripe coherent during
-            // block placement (no-op for scalar-probed tables).  Readers
-            // are only admitted after the migration completes, so the
-            // publish ordering is trivially satisfied here.
-            dst.publish_occupied(pos, key);
-            return;
+        let existing = dst.cell(pos).load_key();
+        if unmark(existing) == key {
+            // An earlier (partial) copy of this block already placed the
+            // element; keep that copy.
+            return false;
+        }
+        if existing == EMPTY_KEY {
+            growt_failpoints::fire("grow.place");
+            if dst.cell(pos).cas_pair((EMPTY_KEY, 0), (key, value)).is_ok() {
+                // Keep the destination's signature stripe coherent during
+                // block placement (no-op for scalar-probed tables).
+                // Readers are only admitted after the migration completes,
+                // so the publish ordering is trivially satisfied here.
+                dst.publish_occupied(pos, key);
+                return true;
+            }
+            // Lost the claim to a concurrent copy of the same cluster;
+            // re-read the cell — it may now hold `key`.
+            continue;
         }
         pos = (pos + 1) & (capacity - 1);
     }
@@ -205,9 +241,13 @@ fn migrate_block(
             }
         }
         for &(k, v) in &cluster {
-            place_sequential(dst, k, v);
+            // Count only elements this call actually placed, so re-copies of
+            // a crashed owner's block never double-count towards the size
+            // estimate the post-migration counter reset is seeded with.
+            if place_sequential(dst, k, v) {
+                migrated += 1;
+            }
         }
-        migrated += cluster.len();
         // `index` is now one past the empty cell that ended the cluster.  If
         // the walk overshot the block end, every cluster starting in the
         // overshot range has already been handled by us.
@@ -258,9 +298,19 @@ pub fn migrate_block_rehash(
             match dst.insert(key, value) {
                 crate::table::InsertOutcome::Inserted { .. } => migrated += 1,
                 // The key can already be present if the source table briefly
-                // contained the key twice (insert racing a deletion); keep
-                // the first copy.
+                // contained the key twice (insert racing a deletion), or if
+                // this block is being re-copied after its first owner
+                // crashed; keep the first copy either way (re-copies are
+                // idempotent, DESIGN.md §12).
                 crate::table::InsertOutcome::AlreadyPresent => {}
+                // Invariant, not a recoverable error: the coordinator sizes
+                // the target for the live count before dealing out blocks
+                // (`capacity_for`), so the rehash cannot run out of cells,
+                // and migration targets are never themselves migrated while
+                // blocks are outstanding, so `Migrating` is unreachable.  A
+                // failure here means the capacity policy or the generation
+                // state machine is broken — abort loudly rather than lose
+                // elements.
                 outcome => panic!("rehash migration failed: {outcome:?}"),
             }
         }

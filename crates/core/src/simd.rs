@@ -131,6 +131,8 @@ fn high_bits_to_mask(mut z: u64) -> u32 {
 /// or disabled via `GROWT_NO_SIMD`.
 #[inline]
 pub fn match_group_swar(group: &[u8; GROUP], fp: u8) -> (u32, u32) {
+    // Infallible: both slices are compile-time 8-byte windows of a
+    // `[u8; 16]`, so `try_into` can never see a length mismatch.
     let lo = u64::from_le_bytes(group[0..8].try_into().unwrap());
     let hi = u64::from_le_bytes(group[8..16].try_into().unwrap());
     let fp_bcast = 0x0101_0101_0101_0101u64 * fp as u64;
@@ -218,6 +220,21 @@ impl MetaStripe {
             capacity,
             use_sse2: cfg!(target_arch = "x86_64") && crate::cpu::has_sse2(),
         }
+    }
+
+    /// Fallible variant of [`MetaStripe::new`]: surfaces an allocation
+    /// failure instead of aborting, so a growing table can refuse to grow
+    /// and keep serving its current generation.
+    pub fn try_new(capacity: usize) -> Result<Self, crate::mem::AllocError> {
+        assert!(
+            capacity.is_power_of_two() && capacity >= GROUP,
+            "stripe requires a power-of-two capacity >= {GROUP}, got {capacity}"
+        );
+        Ok(MetaStripe {
+            bytes: HugeBox::try_zeroed(capacity + GROUP)?,
+            capacity,
+            use_sse2: cfg!(target_arch = "x86_64") && crate::cpu::has_sse2(),
+        })
     }
 
     /// Publish the stripe byte for cell `index` (Release, after the cell

@@ -147,6 +147,37 @@ impl BoundedTable {
         }
     }
 
+    /// Fallible variant of [`BoundedTable::with_cells_configured`]: the
+    /// cell array (and the signature stripe, when one is configured) are
+    /// allocated through [`HugeBox::try_zeroed`], so an allocation failure
+    /// is returned as a typed error instead of aborting the process.  The
+    /// growing tables allocate every next generation through this path —
+    /// on failure they keep serving the current generation.
+    pub fn try_with_cells_configured(
+        capacity: usize,
+        version: u64,
+        hash: HashSelect,
+        probe: ProbeSelect,
+    ) -> Result<Self, crate::mem::AllocError> {
+        assert!(
+            capacity.is_power_of_two(),
+            "capacity must be a power of two"
+        );
+        let meta = if probe == ProbeSelect::Simd && capacity >= GROUP {
+            Some(MetaStripe::try_new(capacity)?)
+        } else {
+            None
+        };
+        Ok(BoundedTable {
+            cells: HugeBox::try_zeroed(capacity)?,
+            capacity,
+            version,
+            hash,
+            probe,
+            meta,
+        })
+    }
+
     /// Number of cells.
     #[inline]
     pub fn capacity(&self) -> usize {

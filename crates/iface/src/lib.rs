@@ -26,6 +26,41 @@ pub type Key = u64;
 /// Value type used throughout the reproduction: one machine word.
 pub type Value = u64;
 
+/// Growing the table to make room for an operation failed.
+///
+/// Returned by the `try_`-variant handle methods when the table could not
+/// allocate (or, after bounded retries, still could not allocate) the next
+/// generation.  The table itself stays fully usable: the old generation
+/// keeps serving reads and non-inserting updates, and a later `try_` call
+/// retries the growth step.  The infallible methods never surface this —
+/// they keep retrying with capped exponential backoff instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TryGrowError;
+
+impl std::fmt::Display for TryGrowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("growing the table failed: next generation could not be allocated")
+    }
+}
+
+impl std::error::Error for TryGrowError {}
+
+/// A bounded (non-growing) table has no free cell left for an insertion.
+///
+/// Returned by `try_`-variant methods of bounded tables; the panicking
+/// wrappers keep their loud-failure behavior for callers that sized the
+/// table correctly by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TableFull;
+
+impl std::fmt::Display for TableFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("the bounded table is full")
+    }
+}
+
+impl std::error::Error for TableFull {}
+
 /// Outcome of an [`MapHandle::insert_or_update`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InsertOrUpdate {
@@ -275,6 +310,39 @@ pub trait MapHandle {
     fn size_estimate(&mut self) -> usize {
         0
     }
+
+    // -----------------------------------------------------------------
+    // Fallible variants (graceful degradation on allocation failure)
+    //
+    // The infallible operations above never report resource exhaustion:
+    // a growing table that cannot allocate its next generation keeps
+    // serving the old one and retries with capped exponential backoff
+    // until the allocation succeeds.  The `try_` variants below bound
+    // that retrying and surface `TryGrowError` instead, so callers that
+    // want to shed load (or report the condition) can.  The defaults
+    // delegate to the infallible operation — correct for every table
+    // whose operations cannot fail on allocation.
+    // -----------------------------------------------------------------
+
+    /// Fallible [`MapHandle::insert`]: like `insert`, but when making
+    /// room would require growing and the next generation cannot be
+    /// allocated within a bounded number of retries, returns
+    /// `Err(TryGrowError)` instead of blocking until memory appears.
+    /// The element is **not** inserted on error; the table stays valid.
+    fn try_insert(&mut self, k: Key, v: Value) -> Result<bool, TryGrowError> {
+        Ok(self.insert(k, v))
+    }
+
+    /// Fallible [`MapHandle::insert_or_update`]; see
+    /// [`MapHandle::try_insert`] for the error contract.
+    fn try_insert_or_update(
+        &mut self,
+        k: Key,
+        d: Value,
+        up: fn(Value, Value) -> Value,
+    ) -> Result<InsertOrUpdate, TryGrowError> {
+        Ok(self.insert_or_update(k, d, up))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -353,6 +421,22 @@ pub trait StringMapHandle {
     /// Approximate number of live elements.
     fn size_estimate(&mut self) -> usize {
         0
+    }
+
+    /// Fallible [`StringMapHandle::insert`]: when making room would
+    /// require growing and the next generation cannot be allocated within
+    /// a bounded number of retries, returns `Err(TryGrowError)` instead
+    /// of blocking until memory appears.  The element is **not** inserted
+    /// on error; the table stays valid.  Default delegates to the
+    /// infallible operation (correct for tables that cannot fail).
+    fn try_insert(&mut self, key: &str, value: u64) -> Result<bool, TryGrowError> {
+        Ok(self.insert(key, value))
+    }
+
+    /// Fallible [`StringMapHandle::insert_or_add`]; see
+    /// [`StringMapHandle::try_insert`] for the error contract.
+    fn try_insert_or_add(&mut self, key: &str, delta: u64) -> Result<InsertOrUpdate, TryGrowError> {
+        Ok(self.insert_or_add(key, delta))
     }
 }
 

@@ -76,6 +76,11 @@ impl QsbrDomain {
         let epoch = self.global_epoch.fetch_add(1, Ordering::AcqRel);
         self.limbo.lock().push((epoch, drop_fn));
         self.pending_hint.fetch_add(1, Ordering::Release);
+        // A thread that dies here (after the retire, before its next
+        // quiescent announcement) must not strand the object: dropping
+        // its participant unregisters it, and the remaining participants'
+        // announcements drain the limbo list.
+        growt_failpoints::fire("qsbr.retire");
     }
 
     /// Number of objects waiting in the limbo list (for tests/diagnostics).
@@ -118,6 +123,12 @@ impl QsbrDomain {
         let n = ready.len();
         if n > 0 {
             self.pending_hint.fetch_sub(n, Ordering::AcqRel);
+            // Widens the window between detaching a batch from limbo and
+            // destroying it; a thread dying here only leaks the detached
+            // batch if the deferred closures themselves are lost, which
+            // they are not — `ready` is owned by this frame and its drop
+            // glue runs the destructors even on unwind.
+            growt_failpoints::fire("qsbr.reclaim");
         }
         for f in ready {
             f();

@@ -25,6 +25,7 @@ pub mod keys;
 pub mod mt64;
 pub mod scheduler;
 pub mod stats;
+pub mod watchdog;
 pub mod words;
 pub mod zipf;
 
@@ -41,5 +42,6 @@ pub use keys::{
 pub use mt64::{Mt64, SplitMix64};
 pub use scheduler::BlockScheduler;
 pub use stats::{Figure, Measurement, Repetitions, Series};
+pub use watchdog::with_watchdog;
 pub use words::{word_corpus, word_vocabulary, WordCorpus};
 pub use zipf::{top_key_probability, ZipfSampler};

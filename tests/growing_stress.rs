@@ -2,23 +2,59 @@
 //! concurrent growth, deletion-driven cleanup migrations, and the mixed /
 //! deletion workloads of the paper driven through the generic drivers.
 
+use std::time::Duration;
+
 use growt_repro::prelude::*;
-use growt_workloads::{deletion_workload, mixed_workload, uniform_distinct_keys};
+use growt_workloads::{deletion_workload, mixed_workload, uniform_distinct_keys, with_watchdog};
+
+/// Generous liveness bound for one stress test: a healthy run finishes in
+/// seconds, a wedged migration protocol would otherwise hang forever.
+const LIVENESS: Duration = Duration::from_secs(300);
 
 #[test]
 fn growing_from_tiny_capacity_under_contention() {
     fn run<M: ConcurrentMap>() {
-        let keys = uniform_distinct_keys(60_000, 31);
-        let table = M::with_capacity(64); // forces many migrations
-        let m = insert_driver(&table, &keys, 4);
-        assert_eq!(m.aux as usize, keys.len(), "{}", M::table_name());
-        let m = find_driver(&table, &keys, 4);
-        assert_eq!(m.aux as usize, keys.len(), "{}", M::table_name());
+        with_watchdog(M::table_name(), LIVENESS, || {
+            let keys = uniform_distinct_keys(60_000, 31);
+            let table = M::with_capacity(64); // forces many migrations
+            let m = insert_driver(&table, &keys, 4);
+            assert_eq!(m.aux as usize, keys.len(), "{}", M::table_name());
+            let m = find_driver(&table, &keys, 4);
+            assert_eq!(m.aux as usize, keys.len(), "{}", M::table_name());
+        });
     }
     run::<UaGrow>();
     run::<UsGrow>();
     run::<PaGrow>();
     run::<PsGrow>();
+}
+
+#[test]
+fn panicking_update_closure_does_not_wedge_synchronized_growth() {
+    // An update closure is user code; a panic inside it unwinds straight
+    // through the handle operation while the handle's busy flag is raised.
+    // The operation's guard must lower the flag on the way out — otherwise
+    // the next synchronized (usGrow/psGrow) migration waits on this handle
+    // forever and every writer wedges behind it.
+    with_watchdog("panicking-up-closure", LIVENESS, || {
+        let table = UsGrow::with_capacity(128);
+        let mut victim = table.handle();
+        victim.insert(2, 1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            victim.insert_or_update(2, 1, |_, _| panic!("injected user-closure panic"));
+        }));
+        assert!(result.is_err(), "closure must have panicked");
+        // Keep `victim` registered (alive, idle) and force migrations from
+        // another handle: growth must complete although `victim` never
+        // performs another operation.
+        let mut other = table.handle();
+        for key in 3..30_000u64 {
+            other.insert(key, key);
+        }
+        assert!(table.inner().migrations_completed() > 0, "never migrated");
+        assert_eq!(other.find(2), Some(1), "panicked update must not apply");
+        drop(victim);
+    });
 }
 
 #[test]
@@ -30,32 +66,34 @@ fn deletion_workload_reclaims_memory() {
     // migration (execution skew); such keys are simply deleted "late", so
     // the invariant checked here is conservation: every inserted key is
     // either still live or was successfully deleted — nothing is lost.
-    let window = 40_000;
-    let steps = 80_000;
-    let wl = deletion_workload(steps, window, 77);
-    let table = UaGrow::with_capacity(window + window / 2);
-    prefill(&table, &wl.prefill);
-    let m = deletion_driver(&table, &wl, 2);
-    let deleted = m.aux as usize;
-    let failed = steps - deleted;
-    assert!(
-        failed <= steps / 20,
-        "too many deletions missed their target ({failed} of {steps})"
-    );
-    let mut handle = table.handle();
-    handle.quiesce();
-    drop(handle);
-    // Conservation: prefill + steps insertions, `deleted` removals.
-    let size = table.inner().size_exact_quiescent();
-    assert_eq!(size, window + steps - deleted, "elements were lost");
-    // Capacity must stay bounded by a small multiple of the window size
-    // (tombstone cleanup happened), not by the total number of insertions.
-    assert!(
-        table.inner().current_capacity() <= 4 * (window + window / 2).next_power_of_two(),
-        "capacity {} indicates tombstones were never cleaned",
-        table.inner().current_capacity()
-    );
-    assert!(table.inner().migrations_completed() > 0);
+    with_watchdog("deletion-workload", LIVENESS, || {
+        let window = 40_000;
+        let steps = 80_000;
+        let wl = deletion_workload(steps, window, 77);
+        let table = UaGrow::with_capacity(window + window / 2);
+        prefill(&table, &wl.prefill);
+        let m = deletion_driver(&table, &wl, 2);
+        let deleted = m.aux as usize;
+        let failed = steps - deleted;
+        assert!(
+            failed <= steps / 20,
+            "too many deletions missed their target ({failed} of {steps})"
+        );
+        let mut handle = table.handle();
+        handle.quiesce();
+        drop(handle);
+        // Conservation: prefill + steps insertions, `deleted` removals.
+        let size = table.inner().size_exact_quiescent();
+        assert_eq!(size, window + steps - deleted, "elements were lost");
+        // Capacity must stay bounded by a small multiple of the window size
+        // (tombstone cleanup happened), not by the total number of insertions.
+        assert!(
+            table.inner().current_capacity() <= 4 * (window + window / 2).next_power_of_two(),
+            "capacity {} indicates tombstones were never cleaned",
+            table.inner().current_capacity()
+        );
+        assert!(table.inner().migrations_completed() > 0);
+    });
 }
 
 #[test]
