@@ -9,20 +9,23 @@
 //! `<id>` is one of: `table1`, `fig2a`, `fig2b`, `fig3a`, `fig3b`, `fig4a`,
 //! `fig4b`, `fig5a`, `fig5b`, `fig6`, `fig7a`, `fig7b`, `fig8a`, `fig8b`,
 //! `fig9a`, `fig9b`, `fig10`, `fig11a`, `fig11b`, `ablation_block`,
-//! `ablation_batch`, `ablation_probe`, `scaling`, `wordcount`, or `all`.
+//! `ablation_batch`, `ablation_probe`, `scaling`, `wordcount`, `latency`,
+//! or `all`.
 //! Output is TSV on stdout (one block per figure).  With `--json`,
-//! `ablation_batch`, `ablation_probe`, `scaling` and `wordcount`
-//! additionally merge their results into the
+//! `ablation_batch`, `ablation_probe`, `scaling`, `wordcount` and
+//! `latency` additionally merge their results into the
 //! machine-readable perf-trajectory record `BENCH_hotpath.json` (schema
 //! `growt-bench/hotpath-v2`) in the current directory: the file
 //! accumulates one entry per figure key across runs (and upgrades legacy
 //! v1 files in place) instead of being overwritten.  The `wordcount`
 //! sweep takes `--vocab N` (vocabulary size, i.e. distinct words).
+//! `--threads` overrides the thread grid of every sweep, including the
+//! figures that otherwise use a built-in wide grid (`fig11a`/`fig11b`).
 
 use growt_bench::*;
 
 /// Every figure id the harness can regenerate, in `all` execution order.
-const FIGURE_IDS: [&str; 24] = [
+const FIGURE_IDS: [&str; 25] = [
     "table1",
     "fig2a",
     "fig2b",
@@ -47,6 +50,7 @@ const FIGURE_IDS: [&str; 24] = [
     "ablation_probe",
     "scaling",
     "wordcount",
+    "latency",
 ];
 
 /// Install the tracking allocator so that Fig. 10 can report memory usage.
@@ -80,6 +84,7 @@ fn parse_args() -> (Vec<String>, HarnessConfig) {
                     .split(',')
                     .map(|t| t.parse().expect("numeric thread count"))
                     .collect();
+                cfg.threads_overridden = true;
             }
             "--contention-threads" => {
                 cfg.contention_threads = args
@@ -182,6 +187,14 @@ fn run(id: &str, cfg: &HarnessConfig) {
                 write_hotpath_json("wordcount", &block, points.len());
             }
             wordcount_figure(&points).to_tsv()
+        }
+        "latency" => {
+            let points = latency_points(cfg);
+            if cfg.json {
+                let block = latency_points_block(cfg, &points);
+                write_hotpath_json("latency", &block, points.len());
+            }
+            latency_figure(&points).to_tsv()
         }
         other => {
             eprintln!("[figure] unknown figure id `{other}`");

@@ -20,7 +20,7 @@ use growt_baselines::{
 use growt_core::variants::{UaGrowTsx, UsGrowTsx};
 use growt_core::{
     Folklore, FolkloreCrc, FolkloreSimd, GrowingStringTable, PaGrow, PsGrow, StringKeyTable,
-    TsxFolklore, UaGrow, UaGrowCrc, UaGrowSimd, UsGrow,
+    TsxFolklore, UaGrow, UaGrowCrc, UaGrowK1, UaGrowK16, UaGrowK4, UaGrowSimd, UsGrow,
 };
 use growt_iface::{capability_row, Capabilities, ConcurrentMap, StringMap};
 use growt_seq::{SeqGrowingTable, SeqTable};
@@ -28,7 +28,8 @@ use growt_workloads::{
     aggregate_driver, deletion_driver, deletion_workload, dense_prefill_keys, find_batch_driver,
     find_driver, insert_batch_driver, insert_driver, mixed_driver, mixed_workload, prefill,
     uniform_distinct_keys, uniform_keys, update_driver, word_corpus, wordcount_driver, zipf_keys,
-    Figure, Repetitions, Series,
+    zipf_mixed_latency_driver, zipf_mixed_workload, Figure, LatencyHistogram, Repetitions, Series,
+    ZipfMixedWorkload, LAT_CLASS_FIND, LAT_CLASS_INSERT, LAT_CLASS_UPDATE,
 };
 
 /// Harness configuration (op counts, thread grid, repetitions).
@@ -38,6 +39,10 @@ pub struct HarnessConfig {
     pub ops: usize,
     /// Thread counts for scaling figures (paper: 1..48 / 1..64).
     pub threads: Vec<usize>,
+    /// Whether `threads` came from an explicit `--threads` override, in
+    /// which case figures with their own built-in thread grid (`fig11`)
+    /// honor the override instead.
+    pub threads_overridden: bool,
     /// Repetitions per data point (paper: 5).
     pub reps: usize,
     /// Zipf exponents for the contention figures (paper Fig. 4/5).
@@ -60,6 +65,7 @@ impl Default for HarnessConfig {
         HarnessConfig {
             ops: 1_000_000,
             threads: vec![1, 2, 4, 8],
+            threads_overridden: false,
             reps: 1,
             zipf_s: vec![0.25, 0.5, 0.75, 0.85, 0.95, 1.0, 1.25, 1.5, 2.0],
             write_percents: vec![10, 20, 30, 40, 50, 60, 70, 80],
@@ -615,7 +621,9 @@ pub fn fig10(cfg: &HarnessConfig) -> String {
 /// grid.
 pub fn fig11(cfg: &HarnessConfig, finds: bool) -> Figure {
     let mut wide = cfg.clone();
-    wide.threads = vec![1, 2, 4, 8, 16, 32, 64];
+    if !cfg.threads_overridden {
+        wide.threads = vec![1, 2, 4, 8, 16, 32, 64];
+    }
     if finds {
         let mut fig = fig3(&wide, false);
         fig.id = "fig11b-find-unsuccessful-wide".into();
@@ -753,20 +761,27 @@ pub fn ablation_batch_points(cfg: &HarnessConfig) -> Vec<BatchPoint> {
     points
 }
 
+/// Append `(x, y)` to the series labeled `label`, creating the series on
+/// first use — the shared skeleton of every point-list → [`Figure`]
+/// builder (`batch`, `scaling`, `probe`, `wordcount`, `latency`).
+fn push_series_point(fig: &mut Figure, label: String, x: f64, y: f64) {
+    match fig.series.iter_mut().find(|s| s.label == label) {
+        Some(series) => series.push(x, y),
+        None => {
+            let mut series = Series::new(label);
+            series.push(x, y);
+            fig.push(series);
+        }
+    }
+}
+
 /// Render the batch sweep as a [`Figure`] (x axis = K, one series per
 /// table × operation × thread count).
 pub fn batch_points_figure(points: &[BatchPoint]) -> Figure {
     let mut fig = Figure::new("ablation-batch-hot-paths", "batch-K");
     for point in points {
         let label = format!("{} {} p={}", point.table, point.op, point.threads);
-        match fig.series.iter_mut().find(|s| s.label == label) {
-            Some(series) => series.push(point.batch as f64, point.mops),
-            None => {
-                let mut series = Series::new(label);
-                series.push(point.batch as f64, point.mops);
-                fig.push(series);
-            }
-        }
+        push_series_point(&mut fig, label, point.batch as f64, point.mops);
     }
     fig
 }
@@ -845,14 +860,7 @@ pub fn scaling_figure(points: &[ScalingPoint]) -> Figure {
             "{} {} {} K={}",
             point.table, point.op, point.hash, point.batch
         );
-        match fig.series.iter_mut().find(|s| s.label == label) {
-            Some(series) => series.push(point.threads as f64, point.mops),
-            None => {
-                let mut series = Series::new(label);
-                series.push(point.threads as f64, point.mops);
-                fig.push(series);
-            }
-        }
+        push_series_point(&mut fig, label, point.threads as f64, point.mops);
     }
     fig
 }
@@ -940,14 +948,7 @@ pub fn probe_points_figure(points: &[ProbePoint]) -> Figure {
     let mut fig = Figure::new("ablation-probe-regimes", "threads");
     for point in points {
         let label = format!("{} {} load={}", point.table, point.op, point.load);
-        match fig.series.iter_mut().find(|s| s.label == label) {
-            Some(series) => series.push(point.threads as f64, point.mops),
-            None => {
-                let mut series = Series::new(label);
-                series.push(point.threads as f64, point.mops);
-                fig.push(series);
-            }
-        }
+        push_series_point(&mut fig, label, point.threads as f64, point.mops);
     }
     fig
 }
@@ -1020,14 +1021,7 @@ pub fn wordcount_figure(points: &[WordCountPoint]) -> Figure {
     let mut fig = Figure::new("wordcount-string-aggregation", "threads");
     for point in points {
         let label = point.table.to_string();
-        match fig.series.iter_mut().find(|s| s.label == label) {
-            Some(series) => series.push(point.threads as f64, point.mops),
-            None => {
-                let mut series = Series::new(label);
-                series.push(point.threads as f64, point.mops);
-                fig.push(series);
-            }
-        }
+        push_series_point(&mut fig, label, point.threads as f64, point.mops);
     }
     fig
 }
@@ -1045,6 +1039,173 @@ pub fn wordcount_points_block(cfg: &HarnessConfig, points: &[WordCountPoint]) ->
         })
         .collect();
     figure_block_json("wordcount", cfg, &rows)
+}
+
+// ---------------------------------------------------------------------------
+// Tail-latency figure (`latency`): per-op latency percentiles of a mixed
+// Zipf workload that crosses several migrations, across help budgets.
+// ---------------------------------------------------------------------------
+
+/// Initial capacity of the growing tables in the `latency` figure: small
+/// enough that the default `--ops` crosses many migrations (the workload
+/// inserts ~25% of `ops` fresh keys from ~2k cells), so the recorded tail
+/// contains the grow pause this figure exists to expose.
+pub const LATENCY_INITIAL: usize = 1024;
+/// Resident keys inserted before the timed region of the `latency` figure.
+pub const LATENCY_PREFILL: usize = 512;
+/// Insert share of the mixed `latency` workload, in percent.
+pub const LATENCY_INSERT_PERCENT: u32 = 25;
+/// Update share of the mixed `latency` workload, in percent (the rest
+/// are finds).
+pub const LATENCY_UPDATE_PERCENT: u32 = 25;
+/// Zipf exponent of the find/update key choice in the `latency` figure
+/// (mild skew: contended hot keys without degenerating to one key).
+pub const LATENCY_ZIPF_S: f64 = 1.05;
+
+/// One measured point of the tail-latency sweep (`latency`).
+#[derive(Debug, Clone)]
+pub struct LatencyPoint {
+    /// Table implementation name ("folklore", "uaGrow", "uaGrow-k1", …).
+    pub table: &'static str,
+    /// Operation class: "insert", "find" or "update".
+    pub op: &'static str,
+    /// Number of driver threads.
+    pub threads: usize,
+    /// Mean throughput of the whole mixed workload (all op classes), in
+    /// MOps/s — repeated on each op row of the same configuration.
+    pub mops: f64,
+    /// Median op latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile op latency in nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th-percentile op latency in nanoseconds.
+    pub p999_ns: u64,
+    /// Worst observed op latency in nanoseconds.
+    pub max_ns: u64,
+    /// Completed migrations per repetition (0 for the pre-sized folklore
+    /// control — the figure is meaningless if this is < 4 for the growing
+    /// tables).
+    pub migrations: u64,
+}
+
+fn latency_points_for<M: ConcurrentMap>(
+    cfg: &HarnessConfig,
+    capacity: impl Fn(&ZipfMixedWorkload) -> usize,
+    migrations: impl Fn(&M) -> u64,
+    points: &mut Vec<LatencyPoint>,
+) {
+    for &p in &cfg.threads {
+        let p_eff = effective_threads::<M>(p);
+        let mut reps = Repetitions::new();
+        let mut merged = vec![LatencyHistogram::new(); 3];
+        let mut migrated = 0u64;
+        for rep in 0..cfg.reps {
+            let workload = zipf_mixed_workload(
+                cfg.ops,
+                LATENCY_INSERT_PERCENT,
+                LATENCY_UPDATE_PERCENT,
+                LATENCY_PREFILL,
+                LATENCY_ZIPF_S,
+                7_000 + rep as u64,
+            );
+            let table = M::with_capacity(capacity(&workload));
+            prefill_for::<M>(&table, &workload.prefill);
+            let result = zipf_mixed_latency_driver(&table, &workload, p_eff);
+            reps.push(result.measurement);
+            for (acc, thread) in merged.iter_mut().zip(result.histograms.iter()) {
+                acc.merge(thread);
+            }
+            migrated += migrations(&table);
+        }
+        let mops = reps.mean_mops();
+        let migrations = migrated / cfg.reps.max(1) as u64;
+        for (class, op) in [
+            (LAT_CLASS_INSERT, "insert"),
+            (LAT_CLASS_FIND, "find"),
+            (LAT_CLASS_UPDATE, "update"),
+        ] {
+            let hist = &merged[class];
+            points.push(LatencyPoint {
+                table: M::table_name(),
+                op,
+                threads: p,
+                mops,
+                p50_ns: hist.value_at_percentile(50.0),
+                p99_ns: hist.value_at_percentile(99.0),
+                p999_ns: hist.value_at_percentile(99.9),
+                max_ns: hist.max(),
+                migrations,
+            });
+        }
+    }
+}
+
+/// The tail-latency sweep: a mixed Zipf insert/find/update workload
+/// (25/50/25) started from a tiny table so it crosses several migrations,
+/// with every op bracketed by calibrated clock reads into per-thread
+/// histograms.  Compares help-until-done (`uaGrow`) against bounded help
+/// with k ∈ {1, 4, 16} (`uaGrow-k*`), the migration thread pool
+/// (`paGrow` — the first recorded numbers for [`growt_core::PaGrow`]) and
+/// the pre-sized folklore table as the no-migration control.  This is the
+/// trajectory record for the grow pause: the growing tables' p999 must
+/// move toward the folklore control as the help budget shrinks.
+pub fn latency_points(cfg: &HarnessConfig) -> Vec<LatencyPoint> {
+    let mut points = Vec::new();
+    latency_points_for::<Folklore>(
+        cfg,
+        |w| w.prefill.len() + w.insert_count(),
+        |_| 0,
+        &mut points,
+    );
+    latency_points_for::<UaGrow>(
+        cfg,
+        |_| LATENCY_INITIAL,
+        |t| t.inner().migrations_completed(),
+        &mut points,
+    );
+    latency_points_for::<UaGrowK1>(
+        cfg,
+        |_| LATENCY_INITIAL,
+        |t| t.inner().migrations_completed(),
+        &mut points,
+    );
+    latency_points_for::<UaGrowK4>(
+        cfg,
+        |_| LATENCY_INITIAL,
+        |t| t.inner().migrations_completed(),
+        &mut points,
+    );
+    latency_points_for::<UaGrowK16>(
+        cfg,
+        |_| LATENCY_INITIAL,
+        |t| t.inner().migrations_completed(),
+        &mut points,
+    );
+    latency_points_for::<PaGrow>(
+        cfg,
+        |_| LATENCY_INITIAL,
+        |t| t.inner().migrations_completed(),
+        &mut points,
+    );
+    points
+}
+
+/// Render the tail-latency sweep as a [`Figure`] (x axis = threads, one
+/// series per table × operation × percentile, values in nanoseconds).
+pub fn latency_figure(points: &[LatencyPoint]) -> Figure {
+    let mut fig = Figure::new("latency-tail-ns", "threads");
+    for point in points {
+        for (pct, value) in [
+            ("p50", point.p50_ns),
+            ("p99", point.p99_ns),
+            ("p999", point.p999_ns),
+            ("max", point.max_ns),
+        ] {
+            let label = format!("{} {} {}", point.table, point.op, pct);
+            push_series_point(&mut fig, label, point.threads as f64, value as f64);
+        }
+    }
+    fig
 }
 
 // ---------------------------------------------------------------------------
@@ -1095,6 +1256,21 @@ pub fn probe_points_block(cfg: &HarnessConfig, points: &[ProbePoint]) -> String 
         })
         .collect();
     figure_block_json("ablation_probe", cfg, &rows)
+}
+
+/// Serialize a tail-latency sweep as one figure block for
+/// [`merge_hotpath_json`] (key `latency`).
+pub fn latency_points_block(cfg: &HarnessConfig, points: &[LatencyPoint]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"table\": \"{}\", \"op\": \"{}\", \"threads\": {}, \"mops\": {:.3}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {}, \"migrations\": {}}}",
+                p.table, p.op, p.threads, p.mops, p.p50_ns, p.p99_ns, p.p999_ns, p.max_ns, p.migrations
+            )
+        })
+        .collect();
+    figure_block_json("latency", cfg, &rows)
 }
 
 /// Serialize a scaling sweep as one figure block for
@@ -1314,6 +1490,7 @@ pub fn smoke_config() -> HarnessConfig {
     HarnessConfig {
         ops: 20_000,
         threads: vec![1, 2],
+        threads_overridden: false,
         reps: 1,
         zipf_s: vec![0.5, 1.0],
         write_percents: vec![20, 60],
@@ -1517,6 +1694,63 @@ mod tests {
         assert!(merged.contains("\"figure\": \"wordcount\""));
         assert!(merged.contains("\"table\": \"stringFolklore\""));
         assert_eq!(merged.matches('{').count(), merged.matches('}').count());
+    }
+
+    #[test]
+    fn smoke_latency_points_and_json() {
+        let mut cfg = smoke_config();
+        cfg.ops = 10_000;
+        let points = latency_points(&cfg);
+        // 6 tables (folklore control, uaGrow, k1/k4/k16, paGrow) × 3 op
+        // classes × |threads|.
+        assert_eq!(points.len(), 6 * 3 * cfg.threads.len());
+        assert!(points.iter().all(|p| p.mops > 0.0));
+        for table in [
+            "folklore",
+            "uaGrow",
+            "uaGrow-k1",
+            "uaGrow-k4",
+            "uaGrow-k16",
+            "paGrow",
+        ] {
+            assert!(
+                points.iter().any(|p| p.table == table),
+                "missing {table} series"
+            );
+        }
+        for p in &points {
+            assert!(
+                p.p50_ns <= p.p99_ns && p.p99_ns <= p.p999_ns && p.p999_ns <= p.max_ns,
+                "{} {}: percentiles not monotonic",
+                p.table,
+                p.op
+            );
+            if p.table == "folklore" {
+                assert_eq!(p.migrations, 0, "pre-sized control migrated");
+            } else {
+                assert!(p.migrations >= 1, "{}: never migrated", p.table);
+            }
+        }
+        let fig = latency_figure(&points);
+        assert_eq!(fig.series.len(), 6 * 3 * 4);
+        assert!(fig.to_tsv().contains("uaGrow-k1 insert p999"));
+        let json = merge_hotpath_json(None, "latency", &latency_points_block(&cfg, &points));
+        assert!(json.contains("\"figure\": \"latency\""));
+        assert!(json.contains("\"p999_ns\""));
+        assert!(json.contains("\"migrations\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches("{\"table\"").count(), points.len());
+    }
+
+    #[test]
+    fn fig11_honors_thread_override() {
+        let mut cfg = smoke_config();
+        cfg.ops = 5_000;
+        cfg.threads = vec![2];
+        cfg.threads_overridden = true;
+        let fig = fig11(&cfg, true);
+        assert!(fig.series.iter().all(|s| s.points.len() == 1));
+        assert!(fig.series.iter().all(|s| s.points[0].0 == 2.0));
     }
 
     #[test]

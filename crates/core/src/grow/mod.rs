@@ -79,6 +79,19 @@ pub struct GrowingOptions {
     /// ([`ProbeSelect::Simd`] maintains a signature stripe and matches
     /// 16 fingerprints per probe step).
     pub probe: ProbeSelect,
+    /// Per-op migration help budget for drafted helpers (DESIGN.md §13).
+    ///
+    /// `None` (the default) keeps the paper's help-until-done behavior: a
+    /// thread that trips over a live migration copies blocks until none
+    /// are left.  `Some(k)` bounds the *drafted* helper — an operation
+    /// trapped by a frozen cell copies at most `k` blocks, then waits
+    /// with backoff for the remaining participants, which moves migration
+    /// cost off the op's critical path and onto the tail of whoever keeps
+    /// helping.  The growth *leader* and pool workers are never budgeted
+    /// (someone must guarantee the migration finishes), and the PR 7
+    /// lease/rescue discipline is unchanged, so a budgeted table is
+    /// exactly as crash-tolerant as an unbudgeted one.
+    pub help_budget: Option<usize>,
 }
 
 impl Default for GrowingOptions {
@@ -93,6 +106,7 @@ impl Default for GrowingOptions {
             use_htm: false,
             hash: HashSelect::default(),
             probe: ProbeSelect::default(),
+            help_budget: None,
         }
     }
 }
@@ -537,11 +551,23 @@ impl Inner {
     /// Pull migration blocks until none are left; the participant that
     /// completes the last block finalizes the migration.
     pub(crate) fn participate(&self) {
+        self.participate_bounded(usize::MAX);
+    }
+
+    /// Pull migration blocks until none are left *or* this caller has
+    /// copied `budget` blocks, whichever comes first (the bounded help of
+    /// DESIGN.md §13).  Stopping early is always safe: a block is either
+    /// untouched (the cursor simply never dealt it to us) or fully copied
+    /// and completed under its lease, so the remaining participants — and,
+    /// after the waiters' patience runs out, the rescue pass — observe
+    /// exactly the states they would under help-until-done.
+    pub(crate) fn participate_bounded(&self, budget: usize) {
         let Some(job) = self.current_job() else {
             return;
         };
         // Phase 1: deal out fresh blocks through the shared cursor.
-        loop {
+        let mut copied = 0usize;
+        while copied < budget {
             let block = job.next_block.fetch_add(1, Ordering::AcqRel);
             if block >= job.total_blocks {
                 break;
@@ -560,6 +586,7 @@ impl Inner {
                 continue;
             }
             self.copy_block(&job, block);
+            copied += 1;
         }
         self.maybe_finalize(&job);
     }
@@ -768,7 +795,12 @@ impl Inner {
     }
 
     /// Help with (enslavement) or wait for (pool) an in-flight migration of
-    /// the table version `observed_version`.
+    /// the table version `observed_version`.  Under a
+    /// [`GrowingOptions::help_budget`] a drafted helper copies at most
+    /// that many blocks before falling through to the backoff wait; the
+    /// growth leader (in [`Inner::try_grow_once`]) never comes through
+    /// here and stays unbudgeted, so every migration retains at least one
+    /// help-until-done participant.
     fn help_or_wait(&self, observed_version: u64) {
         match self.options.strategy {
             GrowStrategy::Enslave => {
@@ -781,7 +813,9 @@ impl Inner {
                     let state = self.coordinator.state.load(Ordering::Acquire);
                     match state {
                         STATE_MIGRATING => {
-                            self.participate();
+                            self.participate_bounded(
+                                self.options.help_budget.unwrap_or(usize::MAX),
+                            );
                             self.wait_until_replaced(observed_version);
                             return;
                         }
@@ -795,33 +829,51 @@ impl Inner {
     }
 
     fn wait_until_replaced(&self, observed_version: u64) {
-        /// Yield iterations before a waiter suspects the migration of
+        /// Cumulative sleep before a waiter suspects the migration of
         /// being wedged and mounts a rescue (then again every this-many
-        /// iterations).  Large enough that a healthy migration always
+        /// microseconds).  Large enough that a healthy migration always
         /// finishes first, small enough that an abandoned one recovers in
         /// milliseconds.
-        const RESCUE_PATIENCE: u32 = 4_096;
+        const RESCUE_PATIENCE_US: u64 = 10_000;
+        /// Backoff cap.  Same shape as the grow-retry backoff (50 µs
+        /// doubling) but a much tighter cap: a waiter that oversleeps the
+        /// publication adds its remaining sleep directly to the trapped
+        /// op's latency, whereas the grow-retry path only delays a
+        /// *re-attempt* after an allocation failure.
+        const BACKOFF_CAP_US: u64 = 500;
         let mut spins = 0u32;
+        let mut backoff_us = 50u64;
+        let mut slept_us = 0u64;
         while self.current.version() == observed_version
             && self.coordinator.state.load(Ordering::Acquire) != STATE_IDLE
         {
             spins = spins.wrapping_add(1);
             if spins < 64 {
                 std::hint::spin_loop();
-            } else if spins.is_multiple_of(RESCUE_PATIENCE) {
-                // The migration has not completed for a long time: its
-                // participants may have crashed holding block leases or an
-                // unfinished finalization.  Rescue instead of waiting
-                // forever (this also recruits waiting application threads
-                // under the Pool strategy — a documented deviation that
-                // only matters when the pool itself died; DESIGN.md §12).
-                if let Some(job) = self.current_job() {
-                    if job.expected_version == observed_version {
-                        self.rescue_stalled_blocks(&job);
+            } else if spins < 128 {
+                std::thread::yield_now();
+            } else {
+                // Long migration: stop burning the memory bus with
+                // spin/yield polling and sleep with capped exponential
+                // backoff, leaving the cores to the active participants.
+                std::thread::sleep(std::time::Duration::from_micros(backoff_us));
+                slept_us += backoff_us;
+                backoff_us = (backoff_us * 2).min(BACKOFF_CAP_US);
+                if slept_us >= RESCUE_PATIENCE_US {
+                    slept_us = 0;
+                    // The migration has not completed for a long time: its
+                    // participants may have crashed holding block leases or
+                    // an unfinished finalization.  Rescue instead of
+                    // waiting forever (this also recruits waiting
+                    // application threads under the Pool strategy — a
+                    // documented deviation that only matters when the pool
+                    // itself died; DESIGN.md §12).
+                    if let Some(job) = self.current_job() {
+                        if job.expected_version == observed_version {
+                            self.rescue_stalled_blocks(&job);
+                        }
                     }
                 }
-            } else {
-                std::thread::yield_now();
             }
         }
     }
@@ -1533,6 +1585,80 @@ mod tests {
             assert!(
                 table.migrations_completed() >= 5,
                 "{name}: too few migrations"
+            );
+        }
+    }
+
+    #[test]
+    fn budgeted_help_completes_migrations_single_thread() {
+        // With a single thread the inserter is always the growth leader,
+        // which stays unbudgeted — a help budget must never deadlock or
+        // leave a migration unfinished.
+        for budget in [0usize, 1, 4] {
+            let table = GrowingTable::with_options(
+                16,
+                GrowingOptions {
+                    help_budget: Some(budget),
+                    threads_hint: 4,
+                    ..GrowingOptions::default()
+                },
+            );
+            let mut handle = table.handle();
+            let n = 20_000u64;
+            for k in 2..2 + n {
+                assert!(handle.insert(k, k * 3), "budget {budget}: insert {k}");
+            }
+            assert!(
+                table.migrations_completed() > 0,
+                "budget {budget}: never migrated"
+            );
+            for k in 2..2 + n {
+                assert_eq!(handle.find(k), Some(k * 3), "budget {budget}: find {k}");
+            }
+            assert_eq!(table.size_exact_quiescent(), n as usize, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn budgeted_help_parallel_growth_preserves_all_elements() {
+        // Drafted helpers stop after one block; the leader still finishes
+        // the migration, and no element is lost or duplicated.
+        for budget in [1usize, 16] {
+            let table = GrowingTable::with_options(
+                64,
+                GrowingOptions {
+                    help_budget: Some(budget),
+                    threads_hint: 4,
+                    ..GrowingOptions::default()
+                },
+            );
+            let threads = 4u64;
+            let per_thread = 8_000u64;
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let table = &table;
+                    s.spawn(move || {
+                        let mut handle = table.handle();
+                        for i in 0..per_thread {
+                            let key = 2 + t * per_thread + i;
+                            assert!(handle.insert(key, key), "budget {budget}");
+                        }
+                    });
+                }
+            });
+            let total = (threads * per_thread) as usize;
+            assert_eq!(
+                table.size_exact_quiescent(),
+                total,
+                "budget {budget}: lost elements"
+            );
+            let mut handle = table.handle();
+            for key in 2..2 + threads * per_thread {
+                assert_eq!(handle.find(key), Some(key), "budget {budget}: find {key}");
+            }
+            assert!(
+                table.migrations_completed() >= 5,
+                "budget {budget}: too few migrations"
             );
         }
     }

@@ -48,6 +48,6 @@ pub use config::{capacity_for, GrowConfig, HashSelect, ProbeSelect};
 pub use grow::{Consistency, GrowHandle, GrowStrategy, GrowingOptions, GrowingTable};
 pub use table::BoundedTable;
 pub use variants::{
-    Folklore, FolkloreCrc, FolkloreSimd, PaGrow, PsGrow, TsxFolklore, UaGrow, UaGrowCrc,
-    UaGrowSimd, UsGrow,
+    Folklore, FolkloreCrc, FolkloreSimd, PaGrow, PsGrow, TsxFolklore, UaGrow, UaGrowCrc, UaGrowK1,
+    UaGrowK16, UaGrowK4, UaGrowSimd, UsGrow,
 };

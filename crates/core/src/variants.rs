@@ -308,6 +308,11 @@ macro_rules! growing_variant {
     };
     ($(#[$doc:meta])* $name:ident, $handle:ident, $strategy:expr, $consistency:expr,
      $display:literal, $htm:literal, $hash:expr, $probe:expr) => {
+        growing_variant!($(#[$doc])* $name, $handle, $strategy, $consistency,
+            $display, $htm, $hash, $probe, None);
+    };
+    ($(#[$doc:meta])* $name:ident, $handle:ident, $strategy:expr, $consistency:expr,
+     $display:literal, $htm:literal, $hash:expr, $probe:expr, $budget:expr) => {
         $(#[$doc])*
         pub struct $name {
             table: GrowingTable,
@@ -336,6 +341,7 @@ macro_rules! growing_variant {
                     use_htm: $htm,
                     hash: $hash,
                     probe: $probe,
+                    help_budget: $budget,
                     ..GrowingOptions::default()
                 };
                 $name {
@@ -477,6 +483,50 @@ growing_variant!(
     Consistency::Synchronized,
     "psGrow",
     false
+);
+
+growing_variant!(
+    /// `uaGrow-k1`: [`UaGrow`] with a **help budget of one block** —
+    /// a thread drafted into a live migration copies at most one block
+    /// before waiting with backoff (bounded cooperative help,
+    /// DESIGN.md §13).  The growth leader stays unbudgeted.
+    UaGrowK1,
+    UaGrowK1Handle,
+    GrowStrategy::Enslave,
+    Consistency::AsyncMarking,
+    "uaGrow-k1",
+    false,
+    HashSelect::Mix,
+    ProbeSelect::Scalar,
+    Some(1)
+);
+
+growing_variant!(
+    /// `uaGrow-k4`: [`UaGrow`] with a help budget of four blocks
+    /// (DESIGN.md §13).
+    UaGrowK4,
+    UaGrowK4Handle,
+    GrowStrategy::Enslave,
+    Consistency::AsyncMarking,
+    "uaGrow-k4",
+    false,
+    HashSelect::Mix,
+    ProbeSelect::Scalar,
+    Some(4)
+);
+
+growing_variant!(
+    /// `uaGrow-k16`: [`UaGrow`] with a help budget of sixteen blocks
+    /// (DESIGN.md §13).
+    UaGrowK16,
+    UaGrowK16Handle,
+    GrowStrategy::Enslave,
+    Consistency::AsyncMarking,
+    "uaGrow-k16",
+    false,
+    HashSelect::Mix,
+    ProbeSelect::Scalar,
+    Some(16)
 );
 
 growing_variant!(

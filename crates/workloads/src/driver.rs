@@ -8,10 +8,12 @@
 //! and the figure harness.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use growt_iface::{ConcurrentMap, MapHandle, StringMap, StringMapHandle};
 
-use crate::keys::{DeletionWorkload, MixedOp, MixedWorkload};
+use crate::keys::{DeletionWorkload, MixedOp, MixedWorkload, ZipfMixedOp, ZipfMixedWorkload};
+use crate::latency::{Clock, LatencyHistogram};
 use crate::scheduler::BlockScheduler;
 use crate::stats::Measurement;
 use crate::words::WordCorpus;
@@ -120,6 +122,188 @@ pub fn deletion_driver<M: ConcurrentMap>(
         h.insert(ins, ins);
         u64::from(h.erase(del))
     })
+}
+
+/// Result of a latency-recording workload execution: the usual throughput
+/// [`Measurement`] plus one merged [`LatencyHistogram`] per operation
+/// class (nanoseconds).
+#[derive(Debug, Clone)]
+pub struct LatencyMeasurement {
+    /// Wall-clock throughput of the whole timed region.
+    pub measurement: Measurement,
+    /// One histogram per operation class, merged over all threads.
+    pub histograms: Vec<LatencyHistogram>,
+}
+
+/// Operation-class index of insertions in [`LatencyMeasurement::histograms`].
+pub const LAT_CLASS_INSERT: usize = 0;
+/// Operation-class index of finds in [`LatencyMeasurement::histograms`].
+pub const LAT_CLASS_FIND: usize = 1;
+/// Operation-class index of updates in [`LatencyMeasurement::histograms`].
+pub const LAT_CLASS_UPDATE: usize = 2;
+
+/// Latency-recording twin of [`run_parallel`]: `op` returns the operation
+/// class (`< classes`) and the aux contribution; every call is bracketed
+/// by two [`Clock`] reads and the delta is recorded into the thread's
+/// private histogram for that class — the recording path performs **zero
+/// shared writes** (§5.2 discipline), the per-thread histograms are merged
+/// once after the timed region.
+pub fn run_parallel_latency<M, F>(
+    table: &M,
+    threads: usize,
+    total: usize,
+    classes: usize,
+    op: F,
+) -> LatencyMeasurement
+where
+    M: ConcurrentMap,
+    F: Fn(&mut M::Handle<'_>, usize) -> (usize, u64) + Sync,
+{
+    assert!(threads > 0);
+    assert!(classes > 0);
+    let scheduler = BlockScheduler::new(total);
+    let aux_total = AtomicU64::new(0);
+    let merged = Mutex::new(vec![LatencyHistogram::new(); classes]);
+    let clock = Clock::calibrated();
+    let op = &op;
+    let scheduler = &scheduler;
+    let aux_ref = &aux_total;
+    let merged_ref = &merged;
+    let clock_ref = &clock;
+
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move || {
+                let mut handle = table.handle();
+                let mut aux = 0u64;
+                let mut local = vec![LatencyHistogram::new(); classes];
+                while let Some(range) = scheduler.next_block() {
+                    for i in range {
+                        let t0 = clock_ref.now();
+                        let (class, a) = op(&mut handle, i);
+                        let t1 = clock_ref.now();
+                        local[class].record(clock_ref.delta_ns(t0, t1));
+                        aux = aux.wrapping_add(a);
+                    }
+                    handle.quiesce();
+                }
+                aux_ref.fetch_add(aux, Ordering::Relaxed);
+                let mut merged = merged_ref.lock().unwrap();
+                for (global, thread_local) in merged.iter_mut().zip(local.iter()) {
+                    global.merge(thread_local);
+                }
+            });
+        }
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    LatencyMeasurement {
+        measurement: Measurement {
+            seconds,
+            ops: total,
+            aux: aux_total.load(Ordering::Relaxed),
+        },
+        histograms: merged.into_inner().unwrap(),
+    }
+}
+
+/// Latency-recording twin of [`run_parallel_batched`]: each *batch call*
+/// is one sample (the latency a caller of the batched interface actually
+/// observes), recorded into the class returned by `op` alongside the aux
+/// contribution.
+pub fn run_parallel_batched_latency<M, S, F>(
+    table: &M,
+    threads: usize,
+    total: usize,
+    batch: usize,
+    classes: usize,
+    state: impl Fn() -> S + Sync,
+    op: F,
+) -> LatencyMeasurement
+where
+    M: ConcurrentMap,
+    F: Fn(&mut M::Handle<'_>, std::ops::Range<usize>, &mut S) -> (usize, u64) + Sync,
+{
+    assert!(threads > 0);
+    assert!(batch > 0);
+    assert!(classes > 0);
+    let scheduler = BlockScheduler::new(total);
+    let aux_total = AtomicU64::new(0);
+    let merged = Mutex::new(vec![LatencyHistogram::new(); classes]);
+    let clock = Clock::calibrated();
+    let op = &op;
+    let state = &state;
+    let scheduler = &scheduler;
+    let aux_ref = &aux_total;
+    let merged_ref = &merged;
+    let clock_ref = &clock;
+
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move || {
+                let mut handle = table.handle();
+                let mut scratch = state();
+                let mut aux = 0u64;
+                let mut local = vec![LatencyHistogram::new(); classes];
+                while let Some(range) = scheduler.next_block() {
+                    let mut lo = range.start;
+                    while lo < range.end {
+                        let hi = (lo + batch).min(range.end);
+                        let t0 = clock_ref.now();
+                        let (class, a) = op(&mut handle, lo..hi, &mut scratch);
+                        let t1 = clock_ref.now();
+                        local[class].record(clock_ref.delta_ns(t0, t1));
+                        aux = aux.wrapping_add(a);
+                        lo = hi;
+                    }
+                    handle.quiesce();
+                }
+                aux_ref.fetch_add(aux, Ordering::Relaxed);
+                let mut merged = merged_ref.lock().unwrap();
+                for (global, thread_local) in merged.iter_mut().zip(local.iter()) {
+                    global.merge(thread_local);
+                }
+            });
+        }
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    LatencyMeasurement {
+        measurement: Measurement {
+            seconds,
+            ops: total,
+            aux: aux_total.load(Ordering::Relaxed),
+        },
+        histograms: merged.into_inner().unwrap(),
+    }
+}
+
+/// The mixed Zipf insert/find/update workload with per-op latency
+/// recording (the measurement half of the tail-latency figure).  Classes:
+/// [`LAT_CLASS_INSERT`], [`LAT_CLASS_FIND`], [`LAT_CLASS_UPDATE`]; `aux`
+/// counts successful finds.
+pub fn zipf_mixed_latency_driver<M: ConcurrentMap>(
+    table: &M,
+    workload: &ZipfMixedWorkload,
+    threads: usize,
+) -> LatencyMeasurement {
+    run_parallel_latency(
+        table,
+        threads,
+        workload.ops.len(),
+        3,
+        |h, i| match workload.ops[i] {
+            ZipfMixedOp::Insert(k) => {
+                h.insert(k, k);
+                (LAT_CLASS_INSERT, 0)
+            }
+            ZipfMixedOp::Find(k) => (LAT_CLASS_FIND, u64::from(h.find(k).is_some())),
+            ZipfMixedOp::Update(k) => {
+                h.update_overwrite(k, i as u64);
+                (LAT_CLASS_UPDATE, 0)
+            }
+        },
+    )
 }
 
 /// Run `total` operations in batches of `batch` through `op`, which is

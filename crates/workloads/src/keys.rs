@@ -151,6 +151,94 @@ pub fn mixed_workload(
     }
 }
 
+/// One operation of the tail-latency workload (`figure latency`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZipfMixedOp {
+    /// Insert a fresh key (drives the table through its migrations).
+    Insert(u64),
+    /// Look up a Zipf-hot resident key (never traps on a migration).
+    Find(u64),
+    /// Overwrite-update a Zipf-hot resident key (traps when its cell is
+    /// frozen by a live migration).
+    Update(u64),
+}
+
+/// The mixed insert/find/update workload of the tail-latency figure.
+///
+/// Unlike the throughput-oriented [`MixedWorkload`] (Fig. 7), this
+/// workload is built to *provoke* migrations while keeping a skewed
+/// resident working set: insertions stream fresh distinct keys (growing
+/// the table through as many generations as the op budget allows), while
+/// finds and updates target the prefilled keys with Zipf(s)-distributed
+/// popularity, so the read/update tail can be measured against keys that
+/// are resident for the whole run.
+pub struct ZipfMixedWorkload {
+    /// Keys inserted before the timed region (the Zipf universe of the
+    /// finds and updates).
+    pub prefill: Vec<u64>,
+    /// The operation sequence of the timed region.
+    pub ops: Vec<ZipfMixedOp>,
+}
+
+impl ZipfMixedWorkload {
+    /// Number of insert operations in the timed sequence.
+    pub fn insert_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, ZipfMixedOp::Insert(_)))
+            .count()
+    }
+}
+
+/// Build a [`ZipfMixedWorkload`].
+///
+/// * `n` — number of timed operations,
+/// * `insert_percent` / `update_percent` — percentage (their sum ≤ 100)
+///   of insertions and updates; the rest are finds,
+/// * `prefill` — number of resident keys (≥ 1), the Zipf universe,
+/// * `s` — Zipf exponent of the find/update key popularity,
+/// * `seed` — generator seed (the sequence is deterministic).
+pub fn zipf_mixed_workload(
+    n: usize,
+    insert_percent: u32,
+    update_percent: u32,
+    prefill: usize,
+    s: f64,
+    seed: u64,
+) -> ZipfMixedWorkload {
+    assert!(insert_percent + update_percent <= 100);
+    assert!(prefill >= 1, "finds/updates need a resident universe");
+    let mut rng = Mt64::new(seed);
+    let expected_inserts = (n * insert_percent as usize) / 100 + n / 64 + 16;
+    let pool = uniform_distinct_keys(prefill + expected_inserts, seed ^ 0xA5A5);
+    let (prefill_keys, insert_keys) = pool.split_at(prefill);
+    let sampler = ZipfSampler::new(prefill as u64, s);
+
+    let mut next_insert = 0usize;
+    let mut ops = Vec::with_capacity(n);
+    for _ in 0..n {
+        let roll = rng.next_below(100) as u32;
+        if roll < insert_percent && next_insert < insert_keys.len() {
+            ops.push(ZipfMixedOp::Insert(insert_keys[next_insert]));
+            next_insert += 1;
+        } else {
+            // Zipf rank 1..=prefill — the most popular rank maps to the
+            // first prefill key.
+            let rank = sampler.sample(&mut rng) as usize;
+            let key = prefill_keys[rank - 1];
+            if roll < insert_percent + update_percent {
+                ops.push(ZipfMixedOp::Update(key));
+            } else {
+                ops.push(ZipfMixedOp::Find(key));
+            }
+        }
+    }
+    ZipfMixedWorkload {
+        prefill: prefill_keys.to_vec(),
+        ops,
+    }
+}
+
 /// The deletion benchmark of Fig. 6: a sliding window over one key array.
 ///
 /// The table is prefilled with the first `window` keys; afterwards each
@@ -252,6 +340,47 @@ mod tests {
         // keys (usually below 1000 of 10⁸); with the lag construction and a
         // sequential replay there must be none at all.
         assert_eq!(missing, 0);
+    }
+
+    #[test]
+    fn zipf_mixed_workload_shape() {
+        let wl = zipf_mixed_workload(100_000, 25, 25, 1000, 1.05, 19);
+        assert_eq!(wl.prefill.len(), 1000);
+        assert_eq!(wl.ops.len(), 100_000);
+        let resident: std::collections::HashSet<u64> = wl.prefill.iter().copied().collect();
+        let mut inserts = 0usize;
+        let mut updates = 0usize;
+        let mut inserted = std::collections::HashSet::new();
+        for op in &wl.ops {
+            match op {
+                ZipfMixedOp::Insert(k) => {
+                    inserts += 1;
+                    assert!(!resident.contains(k), "insert key already resident");
+                    assert!(inserted.insert(*k), "insert key repeated");
+                }
+                ZipfMixedOp::Update(k) => {
+                    updates += 1;
+                    assert!(resident.contains(k), "update key not resident");
+                }
+                ZipfMixedOp::Find(k) => {
+                    assert!(resident.contains(k), "find key not resident");
+                }
+            }
+        }
+        assert_eq!(inserts, wl.insert_count());
+        let insert_frac = inserts as f64 / wl.ops.len() as f64;
+        let update_frac = updates as f64 / wl.ops.len() as f64;
+        assert!(
+            (insert_frac - 0.25).abs() < 0.02,
+            "insert fraction {insert_frac}"
+        );
+        assert!(
+            (update_frac - 0.25).abs() < 0.02,
+            "update fraction {update_frac}"
+        );
+        // Determinism.
+        let again = zipf_mixed_workload(100_000, 25, 25, 1000, 1.05, 19);
+        assert_eq!(wl.ops, again.ops);
     }
 
     #[test]

@@ -1,0 +1,353 @@
+//! Mergeable log-bucketed latency histograms and the cycle/wall clock that
+//! feeds them.
+//!
+//! The throughput drivers of this crate ([`crate::driver`]) report MOps/s,
+//! which is the paper's own metric (§8.3) — but an amortized rate hides
+//! exactly the artifact ROADMAP item 3 cares about: a thread drafted into
+//! a migration turns a ~100 ns operation into a multi-millisecond stall.
+//! Seeing that tail requires per-operation timing, and per-operation
+//! timing at tens of MOps/s requires recording to be almost free:
+//!
+//! * [`LatencyHistogram`] is an HDR-style log-linear histogram: 60 power-
+//!   of-two ranges × 16 linear sub-buckets (≤ ~3.2 % relative bucket
+//!   width) over the full `u64` nanosecond range.  `record` is a handful
+//!   of ALU instructions plus one increment of a thread-private counter —
+//!   **zero shared writes** — and histograms merge by bucket-wise
+//!   addition, so per-thread recording composes into one global
+//!   distribution after the timed region (the same pre-aggregate/merge
+//!   discipline the approximate size counter of §5.2 uses).
+//! * [`Clock`] timestamps operations with `rdtsc` where available,
+//!   calibrated once against the monotonic wall clock, and falls back to
+//!   [`std::time::Instant`] elsewhere (or under `GROWT_NO_RDTSC=1`).
+//!
+//! Percentiles are extracted by walking the cumulative bucket counts; a
+//! reported percentile is the upper edge of its bucket clamped to the
+//! exactly-tracked maximum, so `p100` is always the true maximum.
+
+use std::time::Instant;
+
+/// log2 of the number of linear sub-buckets per power-of-two range.
+const SUB_BITS: u32 = 4;
+/// Linear sub-buckets per power-of-two range.
+const SUB_COUNT: usize = 1 << SUB_BITS;
+/// Total number of buckets: values below [`SUB_COUNT`] get one bucket
+/// each, every following power-of-two range `[2^e, 2^{e+1})` is split
+/// into [`SUB_COUNT`] linear sub-buckets, up to `e = 63`.
+const NUM_BUCKETS: usize = SUB_COUNT * (64 - SUB_BITS as usize + 1);
+
+/// Bucket index of `value` (log-linear, HDR-style).
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_COUNT as u64 {
+        value as usize
+    } else {
+        let exp = 63 - value.leading_zeros();
+        let shift = exp - SUB_BITS;
+        (value >> shift) as usize + (shift as usize) * SUB_COUNT
+    }
+}
+
+/// Largest value mapping to bucket `index` (inverse of [`bucket_index`]).
+#[inline]
+fn bucket_high(index: usize) -> u64 {
+    if index < SUB_COUNT {
+        index as u64
+    } else {
+        let shift = (index / SUB_COUNT - 1) as u32;
+        let top = (index % SUB_COUNT + SUB_COUNT) as u64;
+        (top << shift) + ((1u64 << shift) - 1)
+    }
+}
+
+/// A mergeable log-bucketed latency histogram (values in nanoseconds).
+///
+/// Each thread records into its own instance (no shared state on the
+/// recording path); after the timed region the per-thread instances are
+/// [`LatencyHistogram::merge`]d into one distribution.  Merging is exact:
+/// the merge of N histograms equals the histogram of the concatenated
+/// samples (bucket counts, total, sum, min and max are all additive or
+/// extremal), which the property suite asserts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Box<[u64]>,
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0u64; NUM_BUCKETS].into_boxed_slice(),
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample (nanoseconds).
+    #[inline]
+    pub fn record(&mut self, nanos: u64) {
+        self.counts[bucket_index(nanos)] += 1;
+        self.total += 1;
+        self.sum = self.sum.wrapping_add(nanos);
+        self.min = self.min.min(nanos);
+        self.max = self.max.max(nanos);
+    }
+
+    /// Add every sample of `other` into `self` (bucket-wise addition).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (tracked exactly, not bucket-rounded).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The value at percentile `p` (in `[0, 100]`): the upper edge of the
+    /// bucket containing the sample of rank `⌈p/100 · total⌉`, clamped to
+    /// the exactly-tracked maximum.  Monotone in `p`; returns 0 for an
+    /// empty histogram.
+    pub fn value_at_percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let rank = rank.min(self.total);
+        let mut cumulative = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= rank {
+                return bucket_high(index).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Timestamp source for per-operation latency recording.
+///
+/// On x86-64 this calibrates the TSC against [`Instant`] once (per
+/// [`Clock::calibrated`] call) and then timestamps with `rdtsc` — roughly
+/// an order of magnitude cheaper than a `clock_gettime` call, which
+/// matters when every table operation is bracketed by two reads.  On
+/// other architectures, or when `GROWT_NO_RDTSC=1` is set (CI determinism
+/// / machines with unreliable TSCs), timestamps come from [`Instant`].
+#[derive(Debug, Clone, Copy)]
+pub struct Clock {
+    /// Nanoseconds per TSC tick; 0.0 selects the wall-clock fallback.
+    ns_per_tick: f64,
+    base: Instant,
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn rdtsc() -> u64 {
+    // SAFETY: `_rdtsc` has no preconditions; it reads the time-stamp
+    // counter, which is available on every x86-64 CPU.
+    unsafe { core::arch::x86_64::_rdtsc() }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+fn rdtsc() -> u64 {
+    0
+}
+
+impl Clock {
+    /// Build a clock, calibrating the TSC when it is usable.
+    pub fn calibrated() -> Self {
+        let base = Instant::now();
+        if cfg!(target_arch = "x86_64") && std::env::var_os("GROWT_NO_RDTSC").is_none() {
+            // Calibrate over a ~2 ms busy window: long enough that the
+            // Instant read-out error (~tens of ns) is below 0.1 %.
+            let t0 = Instant::now();
+            let c0 = rdtsc();
+            while t0.elapsed().as_micros() < 2_000 {
+                std::hint::spin_loop();
+            }
+            let c1 = rdtsc();
+            let elapsed_ns = t0.elapsed().as_nanos() as f64;
+            if c1 > c0 {
+                let ns_per_tick = elapsed_ns / (c1 - c0) as f64;
+                // Sanity: plausible TSC frequencies are ~100 MHz..10 GHz.
+                if (0.1..=10.0).contains(&ns_per_tick) {
+                    return Clock { ns_per_tick, base };
+                }
+            }
+        }
+        Clock {
+            ns_per_tick: 0.0,
+            base,
+        }
+    }
+
+    /// `true` when timestamps come from the calibrated TSC.
+    pub fn is_tsc(&self) -> bool {
+        self.ns_per_tick > 0.0
+    }
+
+    /// An opaque timestamp (TSC ticks or nanoseconds since the base).
+    #[inline]
+    pub fn now(&self) -> u64 {
+        if self.ns_per_tick > 0.0 {
+            rdtsc()
+        } else {
+            self.base.elapsed().as_nanos() as u64
+        }
+    }
+
+    /// Nanoseconds between two [`Clock::now`] timestamps (saturating: a
+    /// TSC read-out glitch yields 0, never a wrap-around garbage value).
+    #[inline]
+    pub fn delta_ns(&self, start: u64, end: u64) -> u64 {
+        let ticks = end.saturating_sub(start);
+        if self.ns_per_tick > 0.0 {
+            (ticks as f64 * self.ns_per_tick) as u64
+        } else {
+            ticks
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_and_high_are_consistent() {
+        // Every representative value lands in a bucket whose range
+        // contains it, and bucket ranges tile the axis without gaps.
+        for v in (0u64..4096).chain([u64::MAX, u64::MAX - 1, 1 << 40, (1 << 40) + 12_345]) {
+            let i = bucket_index(v);
+            assert!(i < NUM_BUCKETS, "index {i} out of range for {v}");
+            assert!(bucket_high(i) >= v, "high({i}) < {v}");
+            if i > 0 {
+                assert!(bucket_high(i - 1) < v, "value {v} fits an earlier bucket");
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        // The relative bucket width of the log-linear layout is ≤ 1/16.
+        let i = bucket_index(1_000_000);
+        let width = bucket_high(i) - bucket_high(i - 1);
+        assert!((width as f64) <= 1_000_000.0 / 16.0 + 1.0);
+    }
+
+    #[test]
+    fn percentiles_of_known_distribution() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        // Bucket rounding may overshoot by at most one sub-bucket width
+        // (≤ 1/16 relative).
+        let p50 = h.value_at_percentile(50.0);
+        assert!((500..=532).contains(&p50), "p50 = {p50}");
+        let p99 = h.value_at_percentile(99.0);
+        assert!((990..=1000).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.value_at_percentile(100.0), 1000);
+        assert_eq!(h.value_at_percentile(0.0), h.value_at_percentile(0.1));
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for v in [3u64, 17, 17, 40_000, 1 << 50] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [0u64, 5, 123_456_789] {
+            b.record(v);
+            whole.record(v);
+        }
+        let mut merged = LatencyHistogram::new();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged, whole);
+        assert_eq!(merged.count(), 8);
+        assert_eq!(merged.min(), 0);
+        assert_eq!(merged.max(), 1 << 50);
+    }
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.value_at_percentile(99.0), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn clock_measures_forward_time() {
+        let clock = Clock::calibrated();
+        let t0 = clock.now();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let t1 = clock.now();
+        let ns = clock.delta_ns(t0, t1);
+        // Generous bounds: the sleep is ≥ 5 ms, and no sane clock reports
+        // more than 5 s for it.
+        assert!(ns >= 4_000_000, "measured only {ns} ns across a 5 ms sleep");
+        assert!(ns < 5_000_000_000, "measured {ns} ns across a 5 ms sleep");
+        // Reversed timestamps saturate to zero instead of wrapping.
+        assert_eq!(clock.delta_ns(t1, t0), 0);
+    }
+
+    #[test]
+    fn wall_clock_fallback_matches_tsc_scale() {
+        let wall = Clock {
+            ns_per_tick: 0.0,
+            base: Instant::now(),
+        };
+        let t0 = wall.now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let t1 = wall.now();
+        let ns = wall.delta_ns(t0, t1);
+        assert!(ns >= 1_500_000, "wall fallback measured {ns} ns");
+    }
+}

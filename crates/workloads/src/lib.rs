@@ -22,6 +22,7 @@
 pub mod driver;
 pub mod hash;
 pub mod keys;
+pub mod latency;
 pub mod mt64;
 pub mod scheduler;
 pub mod stats;
@@ -32,13 +33,17 @@ pub mod zipf;
 pub use driver::{
     aggregate_driver, deletion_driver, erase_batch_driver, find_batch_driver, find_driver,
     insert_batch_driver, insert_driver, mixed_driver, prefill, run_parallel, run_parallel_batched,
-    run_parallel_strings, update_batch_driver, update_driver, wordcount_driver,
+    run_parallel_batched_latency, run_parallel_latency, run_parallel_strings, update_batch_driver,
+    update_driver, wordcount_driver, zipf_mixed_latency_driver, LatencyMeasurement, LAT_CLASS_FIND,
+    LAT_CLASS_INSERT, LAT_CLASS_UPDATE,
 };
 pub use hash::{crc32c_hw_available, crc32c_u64, crc32c_u64_sw, crc64_pair, mix64, HashKind};
 pub use keys::{
     deletion_workload, dense_prefill_keys, mixed_workload, uniform_distinct_keys, uniform_keys,
-    zipf_keys, DeletionWorkload, MixedOp, MixedWorkload,
+    zipf_keys, zipf_mixed_workload, DeletionWorkload, MixedOp, MixedWorkload, ZipfMixedOp,
+    ZipfMixedWorkload,
 };
+pub use latency::{Clock, LatencyHistogram};
 pub use mt64::{Mt64, SplitMix64};
 pub use scheduler::BlockScheduler;
 pub use stats::{Figure, Measurement, Repetitions, Series};

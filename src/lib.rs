@@ -52,7 +52,7 @@ pub mod prelude {
     pub use growt_core::{
         Folklore, FolkloreCrc, FolkloreSimd, GrowingOptions, GrowingStringTable, GrowingTable,
         HashSelect, PaGrow, ProbeSelect, PsGrow, StringKeyTable, TsxFolklore, UaGrow, UaGrowCrc,
-        UaGrowSimd, UsGrow,
+        UaGrowK1, UaGrowK16, UaGrowK4, UaGrowSimd, UsGrow,
     };
     pub use growt_iface::{
         Capabilities, ConcurrentMap, GrowthSupport, InsertOrUpdate, MapHandle, StringMap,
@@ -62,7 +62,8 @@ pub mod prelude {
     pub use growt_workloads::{
         aggregate_driver, deletion_driver, erase_batch_driver, find_batch_driver, find_driver,
         insert_batch_driver, insert_driver, mixed_driver, prefill, uniform_distinct_keys,
-        update_batch_driver, word_corpus, word_vocabulary, wordcount_driver, zipf_keys, Mt64,
-        WordCorpus, ZipfSampler,
+        update_batch_driver, word_corpus, word_vocabulary, wordcount_driver, zipf_keys,
+        zipf_mixed_latency_driver, zipf_mixed_workload, Clock, LatencyHistogram,
+        LatencyMeasurement, Mt64, WordCorpus, ZipfMixedOp, ZipfMixedWorkload, ZipfSampler,
     };
 }

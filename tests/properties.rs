@@ -221,6 +221,63 @@ proptest! {
         run_model::<UaGrowSimd>(&ops)?;
     }
 
+    /// Merging N per-thread latency histograms is exactly the histogram of
+    /// the concatenated samples — the property the benchmark drivers rely
+    /// on when they record per-thread and merge once after the timed
+    /// region.
+    #[test]
+    fn histogram_merge_equals_concatenation(
+        shards in prop::collection::vec(
+            prop::collection::vec(0u64..2_000_000_000, 0..60),
+            1..6,
+        )
+    ) {
+        let mut merged = LatencyHistogram::new();
+        for shard in &shards {
+            let mut h = LatencyHistogram::new();
+            for &v in shard {
+                h.record(v);
+            }
+            merged.merge(&h);
+        }
+        let mut direct = LatencyHistogram::new();
+        for shard in &shards {
+            for &v in shard {
+                direct.record(v);
+            }
+        }
+        prop_assert_eq!(&merged, &direct);
+        let total: usize = shards.iter().map(|s| s.len()).sum();
+        prop_assert_eq!(merged.count(), total as u64);
+    }
+
+    /// Percentile extraction is monotone in the percentile, bracketed by
+    /// the exact min/max, and never below the true percentile of the
+    /// recorded samples (log-linear buckets round *up* to the bucket edge).
+    #[test]
+    fn histogram_percentiles_are_monotone_and_bracketed(
+        mut samples in prop::collection::vec(0u64..2_000_000_000, 1..200)
+    ) {
+        let mut h = LatencyHistogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        samples.sort_unstable();
+        let mut previous = 0u64;
+        for pct in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0] {
+            let value = h.value_at_percentile(pct);
+            prop_assert!(value >= previous, "p{pct} regressed");
+            previous = value;
+            prop_assert!(value <= h.max());
+            // Never below the true percentile (ranked sample).
+            let rank = ((pct / 100.0) * samples.len() as f64).ceil() as usize;
+            let exact = samples[rank.clamp(1, samples.len()) - 1];
+            prop_assert!(value >= exact, "p{pct}: {value} < exact {exact}");
+        }
+        prop_assert_eq!(h.value_at_percentile(100.0), *samples.last().unwrap());
+        prop_assert_eq!(h.min(), samples[0]);
+    }
+
     /// The approximate counter never under-estimates by more than p² and is
     /// exact after all handles flush.
     #[test]
