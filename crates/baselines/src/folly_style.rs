@@ -26,7 +26,7 @@ use crate::util::{
 };
 
 const EMPTY: u64 = 0;
-const TOMBSTONE: u64 = 1;
+const TOMBSTONE: u64 = crate::util::REPAIRED_TOMBSTONE;
 /// A cell claimed by an inserter whose value store has not been published
 /// yet.  Probes spin through this (very short) window instead of skipping,
 /// so a published key is always paired with an initialized value — the

@@ -34,7 +34,7 @@ use crate::util::{
 };
 
 const EMPTY: u64 = 0;
-const TOMBSTONE: u64 = 1;
+const TOMBSTONE: u64 = crate::util::REPAIRED_TOMBSTONE;
 /// A cell claimed by an inserter whose value store has not been published
 /// yet (same idiom as the folly-style table): probes spin out this short
 /// window, so a *published* key always carries its value — a migration can

@@ -1,71 +1,23 @@
 //! Shared helpers for the baseline implementations.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::AtomicU64;
 
-/// The in-flight insertion claim shared by the folly- and junction-style
-/// tables: an inserter CASes `EMPTY → INFLIGHT`, stores the value, then
-/// publishes the real key **with [`publish_key`]** (a CAS, not a store),
-/// so a published key always carries its value and a claim whose owner
-/// died can be repaired by any probe.
-pub const INFLIGHT: u64 = u64::MAX;
+// The `INFLIGHT` publication discipline (claim → store value → publish
+// key, with crash repair after a patience bound) is shared with the
+// growing-table crate; the single definition lives in
+// `growt_iface::inflight` and is re-exported here so baseline code keeps
+// its historical paths.
+pub use growt_iface::inflight::{load_published_key, INFLIGHT, REPAIRED_TOMBSTONE};
 
-/// The tombstone encoding shared by the word-based baselines (`1`), which
-/// is also what a crashed in-flight claim is repaired to.
-pub const REPAIRED_TOMBSTONE: u64 = 1;
-
-/// Probe iterations through an `INFLIGHT` cell before a waiter declares
-/// the claimer dead and repairs the cell to a tombstone.  Large enough
-/// that a descheduled claimer always finishes first in practice, small
-/// enough that a crashed one cannot stall probes forever.
-const REPAIR_PATIENCE: u32 = 1 << 14;
-
-/// Load a key cell, spinning out the (very short) `INFLIGHT` window so
-/// callers only ever observe a sentinel or a fully published key.  The
-/// window makes probes *lock-free rather than wait-free*: a claimer
-/// descheduled inside it stalls every probe through the cell until it runs
-/// again, so after a short spin the waiter yields its timeslice to the
-/// claimer instead of burning it.
-///
-/// A claimer that *died* inside the window (crash tolerance, DESIGN.md
-/// §12) would stall probes forever; after [`REPAIR_PATIENCE`] iterations
-/// the waiter repairs the cell to a tombstone.  This is safe because the
-/// only transition into `INFLIGHT` is from `EMPTY` (so the loop
-/// terminates) and publication is the [`publish_key`] CAS: a zombie
-/// claimer whose cell was repaired loses that CAS, observes the repair,
-/// and probes past — it can never revive a tombstone.
-#[inline]
-pub fn load_published_key(cell: &AtomicU64) -> u64 {
-    let mut spins = 0u32;
-    loop {
-        let stored = cell.load(Ordering::Acquire);
-        if stored != INFLIGHT {
-            return stored;
-        }
-        spins = spins.wrapping_add(1);
-        if spins < 64 {
-            std::hint::spin_loop();
-        } else if spins >= REPAIR_PATIENCE {
-            let _ = cell.compare_exchange(
-                INFLIGHT,
-                REPAIRED_TOMBSTONE,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            );
-        } else {
-            std::thread::yield_now();
-        }
-    }
-}
-
-/// Publish a claimed cell: `INFLIGHT → key`.  Returns `false` when the
-/// claim was repaired to a tombstone while the claimer stalled inside the
-/// window — the claim is lost for good (tombstones are never revived) and
-/// the caller must probe past.
+/// Publish a claimed cell: `INFLIGHT → key` (see
+/// [`growt_iface::inflight::publish_key`]).  The baseline wrapper fires
+/// the `baseline.inflight` failpoint *before* the publication CAS — the
+/// crash-tolerance tests kill an inserter inside the in-flight window
+/// here and assert a probe repairs the cell.
 #[inline]
 pub fn publish_key(cell: &AtomicU64, key: u64) -> bool {
     growt_failpoints::fire("baseline.inflight");
-    cell.compare_exchange(INFLIGHT, key, Ordering::AcqRel, Ordering::Acquire)
-        .is_ok()
+    growt_iface::inflight::publish_key(cell, key)
 }
 
 /// The splitmix64 finalizer used by every table in the reproduction.

@@ -9,11 +9,11 @@
 //! `<id>` is one of: `table1`, `fig2a`, `fig2b`, `fig3a`, `fig3b`, `fig4a`,
 //! `fig4b`, `fig5a`, `fig5b`, `fig6`, `fig7a`, `fig7b`, `fig8a`, `fig8b`,
 //! `fig9a`, `fig9b`, `fig10`, `fig11a`, `fig11b`, `ablation_block`,
-//! `ablation_batch`, `ablation_probe`, `scaling`, `wordcount`, `latency`,
-//! or `all`.
+//! `ablation_batch`, `ablation_probe`, `scaling`, `wordcount`, `typed`,
+//! `latency`, or `all`.
 //! Output is TSV on stdout (one block per figure).  With `--json`,
-//! `ablation_batch`, `ablation_probe`, `scaling`, `wordcount` and
-//! `latency` additionally merge their results into the
+//! `ablation_batch`, `ablation_probe`, `scaling`, `wordcount`, `typed`
+//! and `latency` additionally merge their results into the
 //! machine-readable perf-trajectory record `BENCH_hotpath.json` (schema
 //! `growt-bench/hotpath-v2`) in the current directory: the file
 //! accumulates one entry per figure key across runs (and upgrades legacy
@@ -25,7 +25,7 @@
 use growt_bench::*;
 
 /// Every figure id the harness can regenerate, in `all` execution order.
-const FIGURE_IDS: [&str; 25] = [
+const FIGURE_IDS: [&str; 26] = [
     "table1",
     "fig2a",
     "fig2b",
@@ -50,6 +50,7 @@ const FIGURE_IDS: [&str; 25] = [
     "ablation_probe",
     "scaling",
     "wordcount",
+    "typed",
     "latency",
 ];
 
@@ -187,6 +188,14 @@ fn run(id: &str, cfg: &HarnessConfig) {
                 write_hotpath_json("wordcount", &block, points.len());
             }
             wordcount_figure(&points).to_tsv()
+        }
+        "typed" => {
+            let points = typed_points(cfg);
+            if cfg.json {
+                let block = typed_points_block(cfg, &points);
+                write_hotpath_json("typed", &block, points.len());
+            }
+            typed_figure(&points).to_tsv()
         }
         "latency" => {
             let points = latency_points(cfg);

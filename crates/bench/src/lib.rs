@@ -19,17 +19,19 @@ use growt_baselines::{
 };
 use growt_core::variants::{UaGrowTsx, UsGrowTsx};
 use growt_core::{
-    Folklore, FolkloreCrc, FolkloreSimd, GrowingStringTable, PaGrow, PsGrow, StringKeyTable,
-    TsxFolklore, UaGrow, UaGrowCrc, UaGrowK1, UaGrowK16, UaGrowK4, UaGrowSimd, UsGrow,
+    Folklore, FolkloreCrc, FolkloreSimd, GrowMap, GrowingStringTable, PaGrow, PsGrow,
+    StringKeyTable, TsxFolklore, UaGrow, UaGrowCrc, UaGrowK1, UaGrowK16, UaGrowK4, UaGrowSimd,
+    UsGrow,
 };
-use growt_iface::{capability_row, Capabilities, ConcurrentMap, StringMap};
+use growt_iface::{capability_row, Capabilities, ConcurrentMap, GenericMap, StringMap};
 use growt_seq::{SeqGrowingTable, SeqTable};
 use growt_workloads::{
     aggregate_driver, deletion_driver, deletion_workload, dense_prefill_keys, find_batch_driver,
-    find_driver, insert_batch_driver, insert_driver, mixed_driver, mixed_workload, prefill,
-    uniform_distinct_keys, uniform_keys, update_driver, word_corpus, wordcount_driver, zipf_keys,
-    zipf_mixed_latency_driver, zipf_mixed_workload, Figure, LatencyHistogram, Repetitions, Series,
-    ZipfMixedWorkload, LAT_CLASS_FIND, LAT_CLASS_INSERT, LAT_CLASS_UPDATE,
+    find_driver, generic_aggregate_driver, generic_wordcount_driver, insert_batch_driver,
+    insert_driver, mixed_driver, mixed_workload, prefill, uniform_distinct_keys, uniform_keys,
+    update_driver, word_corpus, wordcount_driver, zipf_keys, zipf_mixed_latency_driver,
+    zipf_mixed_workload, Figure, LatencyHistogram, Repetitions, Series, ZipfMixedWorkload,
+    LAT_CLASS_FIND, LAT_CLASS_INSERT, LAT_CLASS_UPDATE,
 };
 
 /// Harness configuration (op counts, thread grid, repetitions).
@@ -1042,6 +1044,117 @@ pub fn wordcount_points_block(cfg: &HarnessConfig, points: &[WordCountPoint]) ->
 }
 
 // ---------------------------------------------------------------------------
+// Typed-facade figure (`typed`): the generic GrowMap<K, V> against the
+// specialized tables it claims to subsume.
+// ---------------------------------------------------------------------------
+
+/// One measured point of the typed-facade sweep (`typed`).
+#[derive(Debug, Clone)]
+pub struct TypedPoint {
+    /// Table implementation name ("uaGrow", "growMap", "stringGrow" or
+    /// "growMapString").
+    pub table: &'static str,
+    /// Workload name ("aggregate-u64" or "wordcount-string").
+    pub workload: &'static str,
+    /// Number of driver threads.
+    pub threads: usize,
+    /// Mean aggregation throughput over the repetitions, in MOps/s.
+    pub mops: f64,
+}
+
+/// The typed-facade sweep: the same Zipf aggregation workloads driven
+/// through the specialized interfaces and through `GrowMap`'s generic
+/// one, across the configured thread grid, all tables started at the
+/// standard tiny growing capacity so every run crosses migrations.
+///
+/// * `aggregate-u64` — `insert_or_increment` on [`UaGrow`] versus
+///   `insert_or_update(+1)` on `GrowMap<u64, u64>`.  The inline/inline
+///   instantiation compiles to the same cell operations as the word
+///   table, so the two curves should coincide (within noise) — the
+///   "abstraction costs nothing" claim of DESIGN.md §14, measured.
+/// * `wordcount-string` — `insert_or_add` on [`GrowingStringTable`]
+///   versus `insert_or_update(+1)` on `GrowMap<String, u64>`; both pack
+///   key references, the generic map through `KeyBox<String>`.
+pub fn typed_points(cfg: &HarnessConfig) -> Vec<TypedPoint> {
+    let mut points = Vec::new();
+    let universe = (cfg.ops / 10).max(64) as u64;
+    for &p in &cfg.threads {
+        let mut ua = Repetitions::new();
+        let mut generic = Repetitions::new();
+        for rep in 0..cfg.reps {
+            let keys = zipf_keys(cfg.ops, universe, cfg.wordcount_zipf, 11_000 + rep as u64);
+            let table = UaGrow::with_capacity(GROWING_INITIAL);
+            ua.push(aggregate_driver(&table, &keys, p));
+            let map: GrowMap<u64, u64> = GrowMap::with_capacity(GROWING_INITIAL);
+            generic.push(generic_aggregate_driver(&map, &keys, p));
+        }
+        points.push(TypedPoint {
+            table: "uaGrow",
+            workload: "aggregate-u64",
+            threads: p,
+            mops: ua.mean_mops(),
+        });
+        points.push(TypedPoint {
+            table: "growMap",
+            workload: "aggregate-u64",
+            threads: p,
+            mops: generic.mean_mops(),
+        });
+    }
+    let vocab = cfg.wordcount_vocab.max(1);
+    for &p in &cfg.threads {
+        let mut string_grow = Repetitions::new();
+        let mut generic = Repetitions::new();
+        for rep in 0..cfg.reps {
+            let corpus = word_corpus(cfg.ops, vocab, cfg.wordcount_zipf, 12_000 + rep as u64);
+            let table = GrowingStringTable::with_capacity(GROWING_INITIAL);
+            string_grow.push(wordcount_driver(&table, &corpus, p));
+            let map: GrowMap<String, u64> = GrowMap::with_capacity(GROWING_INITIAL);
+            generic.push(generic_wordcount_driver(&map, &corpus, p));
+        }
+        points.push(TypedPoint {
+            table: "stringGrow",
+            workload: "wordcount-string",
+            threads: p,
+            mops: string_grow.mean_mops(),
+        });
+        points.push(TypedPoint {
+            table: "growMapString",
+            workload: "wordcount-string",
+            threads: p,
+            mops: generic.mean_mops(),
+        });
+    }
+    points
+}
+
+/// Render the typed-facade sweep as a [`Figure`] (x axis = threads, one
+/// series per workload/table pair).
+pub fn typed_figure(points: &[TypedPoint]) -> Figure {
+    let mut fig = Figure::new("typed-generic-map", "threads");
+    for point in points {
+        let label = format!("{}/{}", point.workload, point.table);
+        push_series_point(&mut fig, label, point.threads as f64, point.mops);
+    }
+    fig
+}
+
+/// Serialize a typed-facade sweep as one figure block for
+/// [`merge_hotpath_json`] (key `typed`).
+pub fn typed_points_block(cfg: &HarnessConfig, points: &[TypedPoint]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"table\": \"{}\", \"workload\": \"{}\", \"threads\": {}, \"mops\": {:.3}}}",
+                p.table, p.workload, p.threads, p.mops
+            )
+        })
+        .collect();
+    figure_block_json("typed", cfg, &rows)
+}
+
+// ---------------------------------------------------------------------------
 // Tail-latency figure (`latency`): per-op latency percentiles of a mixed
 // Zipf workload that crosses several migrations, across help budgets.
 // ---------------------------------------------------------------------------
@@ -1693,6 +1806,60 @@ mod tests {
         assert!(merged.contains("\"figure\": \"scaling\""));
         assert!(merged.contains("\"figure\": \"wordcount\""));
         assert!(merged.contains("\"table\": \"stringFolklore\""));
+        assert_eq!(merged.matches('{').count(), merged.matches('}').count());
+    }
+
+    #[test]
+    fn smoke_typed_points_and_json() {
+        let mut cfg = smoke_config();
+        cfg.ops = 10_000;
+        let points = typed_points(&cfg);
+        // 2 workloads × 2 tables × |threads| points.
+        assert_eq!(points.len(), 4 * cfg.threads.len());
+        assert!(points.iter().all(|p| p.mops > 0.0));
+        for table in ["uaGrow", "growMap", "stringGrow", "growMapString"] {
+            assert!(
+                points.iter().any(|p| p.table == table),
+                "missing {table} series"
+            );
+        }
+        let fig = typed_figure(&points);
+        assert_eq!(fig.series.len(), 4);
+        assert!(fig
+            .series
+            .iter()
+            .all(|s| s.points.len() == cfg.threads.len()));
+        assert!(fig.to_tsv().contains("aggregate-u64/growMap"));
+        // Merging typed into a record that already holds every prior
+        // figure key must preserve all of them.
+        let prior = [
+            "ablation_batch",
+            "scaling",
+            "wordcount",
+            "ablation_probe",
+            "latency",
+        ];
+        let mut merged = None::<String>;
+        for figure in prior {
+            merged = Some(merge_hotpath_json(
+                merged.as_deref(),
+                figure,
+                &figure_block_json(figure, &cfg, &["{\"table\": \"x\"}".to_string()]),
+            ));
+        }
+        let merged = merge_hotpath_json(
+            merged.as_deref(),
+            "typed",
+            &typed_points_block(&cfg, &points),
+        );
+        for figure in prior {
+            assert!(
+                merged.contains(&format!("\"figure\": \"{figure}\"")),
+                "merge dropped {figure}"
+            );
+        }
+        assert!(merged.contains("\"figure\": \"typed\""));
+        assert!(merged.contains("\"table\": \"growMapString\""));
         assert_eq!(merged.matches('{').count(), merged.matches('}').count());
     }
 

@@ -34,24 +34,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use growt_iface::{InsertOrUpdate, StringMap, StringMapHandle};
 use parking_lot::Mutex;
 
+use growt_iface::inflight::{load_published_key, publish_key, INFLIGHT, REPAIRED_TOMBSTONE};
+
 use super::{allocate_key, free_key, hash_str, key_matches, pack_keyref, signature_of};
 use crate::config::{capacity_for, scale_to_capacity};
 
 /// Key word of a never-used cell.
 const EMPTY: u64 = 0;
 /// Key word of a deleted cell (the allocation lives on the deferred list).
-const TOMBSTONE: u64 = 1;
-/// Key word of a claimed cell whose value store has not been published
-/// yet.  Not a packed word (packed words have bit 63 clear and are
-/// `≥ 2⁴⁸` with a non-zero signature); probes spin through this window.
-const INFLIGHT: u64 = u64::MAX;
-
-/// Loop iterations a probe tolerates an `INFLIGHT` cell before it assumes
-/// the claimer died inside the publication window and repairs the cell to
-/// a tombstone.  The window is a handful of instructions, so a healthy
-/// claimer finishes within the 64-spin phase; ~16k yields (milliseconds)
-/// of no progress means the claimer unwound between claim and publish.
-const REPAIR_PATIENCE: u32 = 1 << 14;
+/// Identical to what a crashed in-flight claim is repaired to, so the
+/// shared discipline's repairs look like ordinary deletions here.
+const TOMBSTONE: u64 = REPAIRED_TOMBSTONE;
 
 /// `true` when the key word is a published packed reference.
 #[inline]
@@ -102,44 +95,6 @@ impl StringKeyTable {
         self.capacity
     }
 
-    /// Load a key word, spinning out the `INFLIGHT` publication window so
-    /// callers only ever observe `EMPTY`, `TOMBSTONE` or a published
-    /// reference (whose value store already happened-before the key
-    /// publication).  A claimer descheduled inside the window stalls
-    /// probes through this cell, so after a short spin the waiter yields
-    /// its timeslice to the claimer; a claimer that *died* inside the
-    /// window (unwound between claim and publish) would stall probes
-    /// forever, so after [`REPAIR_PATIENCE`] iterations the waiter
-    /// repairs the cell to a tombstone.  The repair CAS racing a zombie
-    /// claimer's publication CAS has exactly one winner, and a lost
-    /// repair just means the cell got published — re-read and return it.
-    #[inline]
-    fn load_published(cell: &StringCell) -> u64 {
-        let mut spins = 0u32;
-        loop {
-            let stored = cell.keyref.load(Ordering::Acquire);
-            if stored != INFLIGHT {
-                return stored;
-            }
-            spins += 1;
-            if spins < 64 {
-                std::hint::spin_loop();
-            } else if spins >= REPAIR_PATIENCE {
-                let _ = cell.keyref.compare_exchange(
-                    INFLIGHT,
-                    TOMBSTONE,
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                );
-                // Whatever the outcome, the next load is conclusive: a
-                // cell never becomes INFLIGHT again (the only transition
-                // into INFLIGHT is from EMPTY).
-            } else {
-                std::thread::yield_now();
-            }
-        }
-    }
-
     /// Insert `⟨key, value⟩`.  Returns `false` if the key is already
     /// present (the allocation is released again in that case) **or** if
     /// the probe found no empty cell — the bounded baseline never reuses
@@ -172,7 +127,7 @@ impl StringKeyTable {
             for _ in 0..self.capacity {
                 let cell = &self.cells[index];
                 loop {
-                    let current = Self::load_published(cell);
+                    let current = load_published_key(&cell.keyref);
                     if current == EMPTY {
                         let ptr = *allocation.0.get_or_insert_with(|| allocate_key(key, hash));
                         let packed = pack_keyref(signature, ptr);
@@ -189,27 +144,17 @@ impl StringKeyTable {
                                 // reference becomes visible, so no probe
                                 // can ever act on an unpublished value.
                                 cell.value.store(value, Ordering::Release);
-                                match cell.keyref.compare_exchange(
-                                    INFLIGHT,
-                                    packed,
-                                    Ordering::AcqRel,
-                                    Ordering::Acquire,
-                                ) {
-                                    Ok(_) => {
-                                        allocation.0 = None;
-                                        break 'probe TryInsert::Inserted;
-                                    }
-                                    Err(_) => {
-                                        // We stalled inside the window so
-                                        // long that a probe declared us
-                                        // dead and repaired the cell to a
-                                        // tombstone.  The claim is lost
-                                        // for good (tombstones are never
-                                        // revived); keep the allocation
-                                        // and continue probing.
-                                        break;
-                                    }
+                                if publish_key(&cell.keyref, packed) {
+                                    allocation.0 = None;
+                                    break 'probe TryInsert::Inserted;
                                 }
+                                // We stalled inside the window so long
+                                // that a probe declared us dead and
+                                // repaired the cell to a tombstone.  The
+                                // claim is lost for good (tombstones are
+                                // never revived); keep the allocation and
+                                // continue probing.
+                                break;
                             }
                             Err(_) => continue, // re-examine the claimed cell
                         }
@@ -241,7 +186,7 @@ impl StringKeyTable {
         let mut index = scale_to_capacity(hash, self.capacity);
         for _ in 0..self.capacity {
             let cell = &self.cells[index];
-            let current = Self::load_published(cell);
+            let current = load_published_key(&cell.keyref);
             if current == EMPTY {
                 return None;
             }
@@ -266,7 +211,7 @@ impl StringKeyTable {
         let mut index = scale_to_capacity(hash, self.capacity);
         for _ in 0..self.capacity {
             let cell = &self.cells[index];
-            let current = Self::load_published(cell);
+            let current = load_published_key(&cell.keyref);
             if current == EMPTY {
                 return None;
             }
@@ -349,7 +294,7 @@ impl StringKeyTable {
         let mut index = scale_to_capacity(hash, self.capacity);
         for _ in 0..self.capacity {
             let cell = &self.cells[index];
-            let current = Self::load_published(cell);
+            let current = load_published_key(&cell.keyref);
             if current == EMPTY {
                 return false;
             }

@@ -30,12 +30,11 @@
 //!   handled by the counted-pointer scheme; the QSBR domain only guards
 //!   the key allocations, which outlive any single generation.
 
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use growt_iface::{InsertOrUpdate, StringMap, StringMapHandle};
 use growt_reclaim::{CachedArc, QsbrDomain, QsbrParticipant, VersionedArc};
-use parking_lot::Mutex;
 
 use super::{
     allocate_key, decode_keyref, free_key, hash_str, key_matches, pack_keyref, signature_of,
@@ -43,6 +42,7 @@ use super::{
 };
 use crate::cell::{is_marked, unmark, Cell, DEL_KEY, EMPTY_KEY};
 use crate::config::{capacity_for, scale_to_capacity, GrowConfig, PROBE_LIMIT};
+use crate::coord::{Coordinator, GrowProtocol, MigrationJob};
 use crate::count::{GlobalCount, LocalCount};
 
 /// `true` when an (unmarked) key word is a published packed reference.
@@ -366,59 +366,16 @@ fn migrate_string_block(
     migrated
 }
 
-/// Migration coordinator states.
-///
-/// The coordinator below (leader election by `IDLE → PREPARING` CAS,
-/// block dealing through a shared counter, `publish_if` finalization by
-/// the last participant) deliberately **mirrors** [`crate::grow`]'s,
-/// minus the axes the string table does not need: no pool strategy, no
-/// synchronized protocol (and hence no busy-flag quiescence wait), no
-/// degenerate-cluster recovery (the rehash migration does not depend on
-/// empty cells).  A coordinator generic over those axes was considered
-/// and rejected — it would push the word table's full option surface
-/// into this ~100-line specialization.  When fixing a protocol bug in
-/// either copy, check the other.
-const STATE_IDLE: u64 = 0;
-const STATE_PREPARING: u64 = 1;
-const STATE_MIGRATING: u64 = 2;
-
-/// Per-block lease states (see [`crate::grow`]'s identically-named
-/// constants): a claimed block whose owner unwinds is released back to
-/// FREE by the lease guard and re-copied by a rescuer; DONE has exactly
-/// one winner so `blocks_done` counts each block once.
-const BLOCK_FREE: u8 = 0;
-const BLOCK_CLAIMED: u8 = 1;
-const BLOCK_DONE: u8 = 2;
-
-/// Finalization latch states: one finalizer at a time; an unwound
-/// finalizer resets the latch to IDLE so the next caller retries.
-const FINALIZE_IDLE: u8 = 0;
-const FINALIZE_RUNNING: u8 = 1;
-const FINALIZE_DONE: u8 = 2;
-
-/// All shared, per-migration state.
-struct StringMigration {
-    source: Arc<StringArray>,
-    target: Arc<StringArray>,
-    expected_version: u64,
-    next_block: AtomicUsize,
-    blocks_done: AtomicUsize,
-    total_blocks: usize,
-    block_size: usize,
-    migrated: AtomicU64,
-    /// One lease word per block (`BLOCK_FREE`/`BLOCK_CLAIMED`/`BLOCK_DONE`).
-    block_states: Box<[AtomicU8]>,
-    /// Finalization latch (`FINALIZE_*`).
-    finalize_state: AtomicU8,
-}
-
-/// Everything shared between handles and the owner.
+/// Everything shared between handles and the owner.  The migration
+/// machinery is the shared §12 coordinator ([`crate::coord`]); this table
+/// instantiates it with the axes it needs — enslavement with asynchronous
+/// marking, no pool, no synchronized quiescence, no degenerate-cluster
+/// recovery (the rehash migration does not depend on empty cells) — via
+/// its [`GrowProtocol`] impl below.
 struct StringInner {
     current: VersionedArc<StringArray>,
     counts: GlobalCount,
-    state: AtomicU64,
-    job: Mutex<Option<Arc<StringMigration>>>,
-    migrations_completed: AtomicU64,
+    coordinator: Coordinator<StringArray>,
     grow: GrowConfig,
     threads_hint: usize,
     domain: Arc<QsbrDomain>,
@@ -454,9 +411,7 @@ impl GrowingStringTable {
             inner: Arc::new(StringInner {
                 current: VersionedArc::new(StringArray::new(capacity, 1)),
                 counts: GlobalCount::new(),
-                state: AtomicU64::new(STATE_IDLE),
-                job: Mutex::new(None),
-                migrations_completed: AtomicU64::new(0),
+                coordinator: Coordinator::new(),
                 grow,
                 threads_hint: threads_hint.max(1),
                 domain: Arc::new(QsbrDomain::new()),
@@ -480,7 +435,10 @@ impl GrowingStringTable {
 
     /// Number of completed migrations (growth, cleanup or shrink steps).
     pub fn migrations_completed(&self) -> u64 {
-        self.inner.migrations_completed.load(Ordering::Acquire)
+        self.inner
+            .coordinator
+            .migrations_completed
+            .load(Ordering::Acquire)
     }
 
     /// Capacity of the current table generation.
@@ -532,367 +490,54 @@ impl Drop for GrowingStringTable {
     }
 }
 
-impl StringInner {
-    /// Request that the generation observed at `observed_version` be
-    /// replaced, then help until it has been (enslavement, §5.3.2).
-    ///
-    /// Infallible: when the target array cannot be allocated the old
-    /// generation keeps serving and the attempt is retried with capped
-    /// exponential backoff (graceful degradation, DESIGN.md §12).  Use
-    /// [`StringInner::try_grow`] for the bounded-attempt variant behind
-    /// the `try_*` handle operations.
-    fn grow(&self, observed_version: u64) {
-        let mut backoff_us = 50u64;
-        loop {
-            if self.try_grow_once(observed_version).is_ok() {
-                return;
-            }
-            std::thread::sleep(std::time::Duration::from_micros(backoff_us));
-            backoff_us = (backoff_us * 2).min(5_000);
-        }
+/// The string table's instantiation of the shared §12 coordinator
+/// ([`crate::coord`]): generations are [`StringArray`]s and block copies
+/// run the rehash migration of [`migrate_string_block`].  Everything else
+/// keeps the trait defaults — enslavement with asynchronous marking, no
+/// pool to signal, no synchronized quiescence (hence `Leader = ()`), no
+/// degenerate-cluster recovery (the rehash migration does not depend on
+/// empty cells).  The `rehash` flag the generic `prepare_migration`
+/// computes is ignored here: every string migration re-derives home cells
+/// from the stored master hash, which is correct for any capacity ratio.
+impl GrowProtocol for StringInner {
+    type Gen = StringArray;
+    type Leader = ();
+
+    const FP_PREPARE_ALLOC: &'static str = "string.prepare.alloc";
+    const FP_BLOCK_CLAIMED: &'static str = "string.block.claimed";
+    const FP_FINALIZE: &'static str = "string.finalize";
+
+    fn coord(&self) -> &Coordinator<StringArray> {
+        &self.coordinator
     }
 
-    /// Bounded-attempt growth used by the `try_*` handle operations.
-    fn try_grow(&self, observed_version: u64) -> Result<(), crate::mem::AllocError> {
-        const ATTEMPTS: u32 = 8;
-        let mut backoff_us = 50u64;
-        let mut attempt = 0;
-        loop {
-            match self.try_grow_once(observed_version) {
-                Ok(()) => return Ok(()),
-                Err(error) => {
-                    attempt += 1;
-                    if attempt >= ATTEMPTS {
-                        return Err(error);
-                    }
-                    std::thread::sleep(std::time::Duration::from_micros(backoff_us));
-                    backoff_us = (backoff_us * 2).min(5_000);
-                }
-            }
-        }
+    fn generations(&self) -> &VersionedArc<StringArray> {
+        &self.current
     }
 
-    /// One growth attempt; `Err` reports the allocation failure that kept
-    /// the leader from installing a migration job (the coordinator is
-    /// back in `IDLE` so any thread can retry).
-    fn try_grow_once(&self, observed_version: u64) -> Result<(), crate::mem::AllocError> {
-        if self.current.version() != observed_version {
-            return Ok(());
-        }
-        match self.state.compare_exchange(
-            STATE_IDLE,
-            STATE_PREPARING,
-            Ordering::AcqRel,
-            Ordering::Acquire,
-        ) {
-            Ok(_) => {
-                // Leader path: the coordinator must never be left in
-                // PREPARING — the guard restores IDLE if preparation
-                // fails *or unwinds*, so a crashed leader cannot wedge
-                // every later growth attempt.
-                struct PrepareGuard<'i> {
-                    inner: &'i StringInner,
-                    armed: bool,
-                }
-                impl Drop for PrepareGuard<'_> {
-                    fn drop(&mut self) {
-                        if self.armed {
-                            self.inner.state.store(STATE_IDLE, Ordering::Release);
-                        }
-                    }
-                }
-                let mut guard = PrepareGuard {
-                    inner: self,
-                    armed: true,
-                };
-                // Re-check staleness now that we own the lock.
-                if self.current.version() != observed_version {
-                    return Ok(());
-                }
-                self.prepare_migration(observed_version)?;
-                guard.armed = false;
-                self.participate();
-                self.wait_until_replaced(observed_version);
-                Ok(())
-            }
-            Err(_) => {
-                self.help_or_wait(observed_version);
-                Ok(())
-            }
-        }
+    fn counts(&self) -> &GlobalCount {
+        &self.counts
     }
 
-    /// Leader-only: allocate the target array and publish the migration
-    /// job.  The capacity policy is the word table's: grow by at least the
-    /// configured factor when the live estimate justifies it, shrink far
-    /// below the shrink threshold, otherwise run a cleanup migration that
-    /// only drops tombstones.  Fallible: an allocation failure leaves the
-    /// table untouched (the caller's guard restores the coordinator).
-    fn prepare_migration(&self, expected_version: u64) -> Result<(), crate::mem::AllocError> {
-        let (source, version) = self.current.acquire();
-        debug_assert_eq!(version, expected_version);
-        let live = self.counts.live_estimate() as usize;
-        let old_capacity = source.capacity;
-        let desired = capacity_for(live.max(1)).max(64);
-        let new_capacity = if desired > old_capacity {
-            desired.max(old_capacity.saturating_mul(self.grow.growth_factor))
-        } else if (live as f64) < self.grow.shrink_threshold * old_capacity as f64
-            && desired < old_capacity
-        {
-            desired
-        } else {
-            old_capacity
-        };
-        let block_size = self.grow.migration_block;
-        let total_blocks = old_capacity.div_ceil(block_size);
-        if growt_failpoints::fire("string.prepare.alloc") {
-            return Err(crate::mem::AllocError {
-                bytes: new_capacity * std::mem::size_of::<Cell>(),
-            });
-        }
-        let target = Arc::new(StringArray::try_new(new_capacity, version + 1)?);
-        let job = Arc::new(StringMigration {
-            target,
-            expected_version: version,
-            next_block: AtomicUsize::new(0),
-            blocks_done: AtomicUsize::new(0),
-            total_blocks,
-            block_size,
-            migrated: AtomicU64::new(0),
-            block_states: (0..total_blocks)
-                .map(|_| AtomicU8::new(BLOCK_FREE))
-                .collect(),
-            finalize_state: AtomicU8::new(FINALIZE_IDLE),
-            source,
-        });
-        *self.job.lock() = Some(job);
-        self.state.store(STATE_MIGRATING, Ordering::Release);
-        Ok(())
+    fn grow_config(&self) -> &GrowConfig {
+        &self.grow
     }
 
-    /// The currently installed migration job, if any.
-    fn current_job(&self) -> Option<Arc<StringMigration>> {
-        self.job.lock().as_ref().map(Arc::clone)
+    fn capacity_of(array: &StringArray) -> usize {
+        array.capacity
     }
 
-    /// Pull migration blocks until none are left, then try to finalize.
-    fn participate(&self) {
-        let Some(job) = self.current_job() else {
-            return;
-        };
-        loop {
-            let block = job.next_block.fetch_add(1, Ordering::AcqRel);
-            if block >= job.total_blocks {
-                break;
-            }
-            if job.block_states[block]
-                .compare_exchange(
-                    BLOCK_FREE,
-                    BLOCK_CLAIMED,
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                )
-                .is_err()
-            {
-                // A rescuer already (re-)claimed this block after its
-                // first owner crashed; the cursor moves on.
-                continue;
-            }
-            self.copy_block(&job, block);
-        }
-        self.maybe_finalize(&job);
+    fn alloc_generation(
+        &self,
+        _source: &StringArray,
+        new_capacity: usize,
+        version: u64,
+    ) -> Result<StringArray, crate::mem::AllocError> {
+        StringArray::try_new(new_capacity, version)
     }
 
-    /// Copy one leased block into the target and complete the lease; the
-    /// lease guard releases the claim if the copy unwinds so a rescuer
-    /// can re-copy the block (idempotently — see
-    /// [`migrate_string_block`]).
-    fn copy_block(&self, job: &Arc<StringMigration>, block: usize) {
-        struct Lease<'j> {
-            job: &'j StringMigration,
-            block: usize,
-            completed: bool,
-        }
-        impl Drop for Lease<'_> {
-            fn drop(&mut self) {
-                if !self.completed {
-                    let _ = self.job.block_states[self.block].compare_exchange(
-                        BLOCK_CLAIMED,
-                        BLOCK_FREE,
-                        Ordering::AcqRel,
-                        Ordering::Acquire,
-                    );
-                }
-            }
-        }
-        let mut lease = Lease {
-            job,
-            block,
-            completed: false,
-        };
-        growt_failpoints::fire("string.block.claimed");
-        let capacity = job.source.capacity;
-        let start = block * job.block_size;
-        let end = ((block + 1) * job.block_size).min(capacity);
-        let migrated = migrate_string_block(&job.source, &job.target, start, end);
-        job.migrated.fetch_add(migrated as u64, Ordering::AcqRel);
-        lease.completed = true;
-        if job.block_states[block]
-            .compare_exchange(
-                BLOCK_CLAIMED,
-                BLOCK_DONE,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            )
-            .is_ok()
-        {
-            job.blocks_done.fetch_add(1, Ordering::AcqRel);
-        }
-    }
-
-    /// Rescue pass for a migration that stopped making progress (see the
-    /// word table's identically-named method): re-claim released leases,
-    /// re-copy claimed-but-stalled blocks, then try to finalize.
-    fn rescue_stalled_blocks(&self, job: &Arc<StringMigration>) {
-        for block in 0..job.total_blocks {
-            if self.current.version() != job.expected_version {
-                return; // someone finalized a replacement meanwhile
-            }
-            match job.block_states[block].load(Ordering::Acquire) {
-                BLOCK_DONE => continue,
-                BLOCK_FREE => {
-                    if job.block_states[block]
-                        .compare_exchange(
-                            BLOCK_FREE,
-                            BLOCK_CLAIMED,
-                            Ordering::AcqRel,
-                            Ordering::Acquire,
-                        )
-                        .is_ok()
-                    {
-                        self.copy_block(job, block);
-                    }
-                }
-                _ => {
-                    // CLAIMED: the owner may be alive but descheduled — a
-                    // re-copy is idempotent either way, so make progress
-                    // instead of trying to distinguish.
-                    self.copy_block(job, block);
-                }
-            }
-        }
-        self.maybe_finalize(job);
-    }
-
-    /// Finalize once every block lease is DONE; the latch picks one
-    /// finalizer at a time and a finalizer that unwinds releases it so
-    /// the next caller retries (all steps are idempotent).
-    fn maybe_finalize(&self, job: &Arc<StringMigration>) {
-        while job.blocks_done.load(Ordering::Acquire) >= job.total_blocks {
-            match job.finalize_state.compare_exchange(
-                FINALIZE_IDLE,
-                FINALIZE_RUNNING,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
-                Ok(_) => {
-                    self.finalize(job);
-                    return;
-                }
-                Err(FINALIZE_DONE) => return,
-                Err(_) => std::thread::yield_now(),
-            }
-        }
-    }
-
-    /// The single-finalizer body behind the latch: idempotent so a first
-    /// attempt that unwinds can be completed by a retry (the counter
-    /// reset is a plain store, the publish is version-guarded, and the
-    /// job-slot teardown checks that the installed job is still this
-    /// one).
-    fn finalize(&self, job: &Arc<StringMigration>) {
-        struct Latch<'j> {
-            job: &'j StringMigration,
-            completed: bool,
-        }
-        impl Drop for Latch<'_> {
-            fn drop(&mut self) {
-                let next = if self.completed {
-                    FINALIZE_DONE
-                } else {
-                    FINALIZE_IDLE
-                };
-                self.job.finalize_state.store(next, Ordering::Release);
-            }
-        }
-        let mut latch = Latch {
-            job,
-            completed: false,
-        };
-        growt_failpoints::fire("string.finalize");
-        self.counts
-            .reset_after_migration(job.migrated.load(Ordering::Acquire));
-        if self
-            .current
-            .publish_if(job.expected_version, Arc::clone(&job.target))
-            .is_ok()
-        {
-            self.migrations_completed.fetch_add(1, Ordering::AcqRel);
-        }
-        {
-            let mut slot = self.job.lock();
-            if slot.as_ref().is_some_and(|j| Arc::ptr_eq(j, job)) {
-                *slot = None;
-            }
-        }
-        latch.completed = true;
-        self.state.store(STATE_IDLE, Ordering::Release);
-    }
-
-    /// Help with an in-flight migration of `observed_version` (the job may
-    /// not be published yet while the leader prepares).
-    fn help_or_wait(&self, observed_version: u64) {
-        loop {
-            if self.current.version() != observed_version {
-                return;
-            }
-            match self.state.load(Ordering::Acquire) {
-                STATE_MIGRATING => {
-                    self.participate();
-                    self.wait_until_replaced(observed_version);
-                    return;
-                }
-                STATE_IDLE => return,
-                _ => std::hint::spin_loop(),
-            }
-        }
-    }
-
-    fn wait_until_replaced(&self, observed_version: u64) {
-        /// Yield iterations before a waiter suspects the migration of
-        /// being wedged and mounts a rescue (see the word table).
-        const RESCUE_PATIENCE: u32 = 4_096;
-        let mut spins = 0u32;
-        while self.current.version() == observed_version
-            && self.state.load(Ordering::Acquire) != STATE_IDLE
-        {
-            spins = spins.wrapping_add(1);
-            if spins < 64 {
-                std::hint::spin_loop();
-            } else if spins.is_multiple_of(RESCUE_PATIENCE) {
-                // The migration has not completed for a long time: its
-                // participants may have crashed holding block leases or an
-                // unfinished finalization.  Rescue instead of waiting
-                // forever.
-                if let Some(job) = self.current_job() {
-                    if job.expected_version == observed_version {
-                        self.rescue_stalled_blocks(&job);
-                    }
-                }
-            } else {
-                std::thread::yield_now();
-            }
-        }
+    fn copy_range(&self, job: &MigrationJob<StringArray>, start: usize, end: usize) -> usize {
+        migrate_string_block(&job.source, &job.target, start, end)
     }
 }
 
@@ -996,7 +641,7 @@ impl<'a> StringHandle<'a> {
         if let Some((insertions, _)) = self.local.record_insertion(&self.inner.counts) {
             let threshold = self.inner.grow.grow_threshold * capacity as f64;
             if insertions as f64 >= threshold {
-                self.inner.grow(version);
+                self.inner.grow(version, &());
             }
         }
     }
@@ -1010,7 +655,7 @@ impl<'a> StringHandle<'a> {
         if let Some((insertions, _)) = self.local.record_insertion(&self.inner.counts) {
             let threshold = self.inner.grow.grow_threshold * capacity as f64;
             if insertions as f64 >= threshold {
-                let _ = self.inner.try_grow(version);
+                let _ = self.inner.try_grow(version, &());
             }
         }
     }
@@ -1033,7 +678,7 @@ impl<'a> StringHandle<'a> {
                     break true;
                 }
                 ArrayOutcome::Found(_) | ArrayOutcome::NotFound => break false,
-                ArrayOutcome::Full => self.inner.grow(version),
+                ArrayOutcome::Full => self.inner.grow(version, &()),
                 ArrayOutcome::Migrating => self.inner.help_or_wait(version),
             }
         };
@@ -1060,7 +705,7 @@ impl<'a> StringHandle<'a> {
                 }
                 ArrayOutcome::Found(_) | ArrayOutcome::NotFound => break Ok(false),
                 ArrayOutcome::Full => {
-                    if self.inner.try_grow(version).is_err() {
+                    if self.inner.try_grow(version, &()).is_err() {
                         break Err(growt_iface::TryGrowError);
                     }
                 }
@@ -1117,7 +762,7 @@ impl<'a> StringHandle<'a> {
                     break InsertOrUpdate::Inserted;
                 }
                 ArrayOutcome::Found(_) => break InsertOrUpdate::Updated,
-                ArrayOutcome::Full => self.inner.grow(version),
+                ArrayOutcome::Full => self.inner.grow(version, &()),
                 ArrayOutcome::Migrating => self.inner.help_or_wait(version),
                 // Invariant: `upsert` reports an absent key by inserting
                 // it (or `Full`), never as `NotFound`.
@@ -1148,7 +793,7 @@ impl<'a> StringHandle<'a> {
                 }
                 ArrayOutcome::Found(_) => break Ok(InsertOrUpdate::Updated),
                 ArrayOutcome::Full => {
-                    if self.inner.try_grow(version).is_err() {
+                    if self.inner.try_grow(version, &()).is_err() {
                         break Err(growt_iface::TryGrowError);
                     }
                 }

@@ -52,7 +52,7 @@ pub use bounded::StringKeyTable;
 pub use growing::{GrowingStringTable, StringHandle, StringMigrationStats};
 
 /// Number of low bits of a packed key word that hold the pointer.
-const POINTER_BITS: u32 = 48;
+pub(crate) const POINTER_BITS: u32 = 48;
 const POINTER_MASK: u64 = (1 << POINTER_BITS) - 1;
 /// 15-bit signature (bit 63 stays clear for the migration mark bit).
 const SIGNATURE_MASK: u64 = 0x7FFF;
@@ -81,7 +81,7 @@ pub(crate) fn signature_of(hash: u64) -> u64 {
 
 /// Pack a signature and a key-allocation pointer into one key word.
 #[inline]
-fn pack_keyref(signature: u64, ptr: *const u8) -> u64 {
+pub(crate) fn pack_keyref(signature: u64, ptr: *const u8) -> u64 {
     let addr = ptr as u64;
     assert_eq!(
         addr & !POINTER_MASK,
@@ -93,7 +93,7 @@ fn pack_keyref(signature: u64, ptr: *const u8) -> u64 {
 
 /// Split a packed key word into `(signature, pointer)`.
 #[inline]
-fn decode_keyref(keyref: u64) -> (u64, *const u8) {
+pub(crate) fn decode_keyref(keyref: u64) -> (u64, *const u8) {
     (keyref >> POINTER_BITS, (keyref & POINTER_MASK) as *const u8)
 }
 

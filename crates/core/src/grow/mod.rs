@@ -23,7 +23,7 @@
 
 pub(crate) mod pool;
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use growt_reclaim::{CachedArc, VersionedArc};
@@ -31,6 +31,7 @@ use parking_lot::Mutex;
 
 use crate::cell::MAX_MARKABLE_KEY;
 use crate::config::{capacity_for, GrowConfig, HashSelect, ProbeSelect};
+use crate::coord::{Coordinator, GrowProtocol, MigrationJob};
 use crate::count::{GlobalCount, LocalCount};
 use crate::migrate::{migrate_block_exclusive, migrate_block_marking, migrate_block_rehash};
 use crate::table::{BoundedTable, EraseOutcome, InsertOutcome, UpdateOutcome, UpsertOutcome};
@@ -140,65 +141,8 @@ enum BatchDisposition {
     RetryAfterMigration,
 }
 
-/// Migration coordinator states.
-const STATE_IDLE: u64 = 0;
-const STATE_PREPARING: u64 = 1;
-const STATE_MIGRATING: u64 = 2;
-
-/// Per-block lease states (crash-tolerant recovery, DESIGN.md §12).  A
-/// block is **leased**, not owned: a participant that unwinds mid-copy
-/// releases its lease (CLAIMED → FREE) through a drop guard, and a
-/// rescuer may re-copy a block whose owner stalled — block copies are
-/// idempotent (see `crate::migrate::place_sequential`), so a block may be
-/// copied any number of times as long as it is *completed* exactly once
-/// (the CLAIMED → DONE transition has a unique winner).
-const BLOCK_FREE: u8 = 0;
-const BLOCK_CLAIMED: u8 = 1;
-const BLOCK_DONE: u8 = 2;
-
-/// Finalization latch states: the latch serializes finalizers while
-/// staying recoverable — a finalizer that unwinds resets the latch to
-/// IDLE so the next participant can retry (every finalization step is
-/// idempotent).
-const FINALIZE_IDLE: u8 = 0;
-const FINALIZE_RUNNING: u8 = 1;
-const FINALIZE_DONE: u8 = 2;
-
-/// All shared, per-migration state.  Participants clone the `Arc`, so a
-/// straggler holding the job of an already finished migration simply finds
-/// its block counter exhausted and leaves without touching a newer
-/// migration.
-struct MigrationJob {
-    source: Arc<BoundedTable>,
-    target: Arc<BoundedTable>,
-    expected_version: u64,
-    next_block: AtomicUsize,
-    blocks_done: AtomicUsize,
-    total_blocks: usize,
-    block_size: usize,
-    migrated: AtomicU64,
-    /// One lease word per block (`BLOCK_FREE`/`BLOCK_CLAIMED`/`BLOCK_DONE`).
-    block_states: Box<[AtomicU8]>,
-    /// Finalization latch (`FINALIZE_*`).
-    finalize_state: AtomicU8,
-    /// `true` when the target is smaller than the source (shrink/cleanup
-    /// with rehash insertion instead of cluster migration).
-    rehash: bool,
-    /// `true` when source cells must be frozen (asynchronous protocol).
-    marking: bool,
-}
-
-struct Coordinator {
-    state: AtomicU64,
-    job: Mutex<Option<Arc<MigrationJob>>>,
-    /// Set while a synchronized migration excludes table operations.
-    growing_flag: AtomicBool,
-    /// Completed migrations (diagnostics / tests).
-    migrations_completed: AtomicU64,
-}
-
 /// Per-handle shared flags (registered with the table).
-struct HandleShared {
+pub(crate) struct HandleShared {
     /// 1 while the owning handle executes a table operation (synchronized
     /// protocol only).
     busy: AtomicU64,
@@ -209,7 +153,7 @@ struct HandleShared {
 pub(crate) struct Inner {
     current: VersionedArc<BoundedTable>,
     counts: GlobalCount,
-    coordinator: Coordinator,
+    coordinator: Coordinator<BoundedTable>,
     handles: Mutex<Vec<Arc<HandleShared>>>,
     options: GrowingOptions,
     htm: Option<growt_htm::HtmDomain>,
@@ -239,12 +183,7 @@ impl GrowingTable {
                 options.probe,
             )),
             counts: GlobalCount::new(),
-            coordinator: Coordinator {
-                state: AtomicU64::new(STATE_IDLE),
-                job: Mutex::new(None),
-                growing_flag: AtomicBool::new(false),
-                migrations_completed: AtomicU64::new(0),
-            },
+            coordinator: Coordinator::new(),
             handles: Mutex::new(Vec::new()),
             options: options.clone(),
             htm,
@@ -345,539 +284,6 @@ impl Inner {
         self.options.consistency == Consistency::Synchronized
     }
 
-    // -----------------------------------------------------------------
-    // Migration control
-    // -----------------------------------------------------------------
-
-    /// Request that the table observed at `observed_version` be replaced,
-    /// then help or wait until it has been.
-    ///
-    /// Infallible: when the target table cannot be allocated the old
-    /// generation keeps serving and the attempt is retried with capped
-    /// exponential backoff — operations that only need the *old* table
-    /// (finds, updates, erases) are never blocked by the failed growth,
-    /// and a blocked insert becomes a retry loop instead of an abort
-    /// (graceful degradation, DESIGN.md §12).  Use
-    /// [`Inner::try_grow`] for the bounded-attempt variant behind the
-    /// `try_*` handle operations.
-    fn grow(&self, observed_version: u64, handle_shared: &HandleShared) {
-        let mut backoff_us = 50u64;
-        loop {
-            if self.try_grow_once(observed_version, handle_shared).is_ok() {
-                return;
-            }
-            std::thread::sleep(std::time::Duration::from_micros(backoff_us));
-            backoff_us = (backoff_us * 2).min(5_000);
-        }
-    }
-
-    /// Bounded-attempt growth used by the `try_*` handle operations:
-    /// a few short-backoff attempts, then the allocation failure is
-    /// reported to the caller instead of being retried forever.
-    fn try_grow(
-        &self,
-        observed_version: u64,
-        handle_shared: &HandleShared,
-    ) -> Result<(), crate::mem::AllocError> {
-        const ATTEMPTS: u32 = 8;
-        let mut backoff_us = 50u64;
-        let mut attempt = 0;
-        loop {
-            match self.try_grow_once(observed_version, handle_shared) {
-                Ok(()) => return Ok(()),
-                Err(error) => {
-                    attempt += 1;
-                    if attempt >= ATTEMPTS {
-                        return Err(error);
-                    }
-                    std::thread::sleep(std::time::Duration::from_micros(backoff_us));
-                    backoff_us = (backoff_us * 2).min(5_000);
-                }
-            }
-        }
-    }
-
-    /// One growth attempt.  `Ok(())` means the observed generation has been
-    /// (or is being) replaced — or the trigger was stale; `Err` reports the
-    /// allocation failure that kept the leader from installing a migration
-    /// job (the coordinator is back in `IDLE` so any thread can retry).
-    fn try_grow_once(
-        &self,
-        observed_version: u64,
-        handle_shared: &HandleShared,
-    ) -> Result<(), crate::mem::AllocError> {
-        // Stale trigger: someone already replaced the table.
-        if self.current.version() != observed_version {
-            return Ok(());
-        }
-        match self.coordinator.state.compare_exchange(
-            STATE_IDLE,
-            STATE_PREPARING,
-            Ordering::AcqRel,
-            Ordering::Acquire,
-        ) {
-            Ok(_) => {
-                // Leader path.  From here until the job is published the
-                // coordinator must never be left in PREPARING: the guard
-                // restores IDLE (and lowers the growing flag) if
-                // preparation fails *or unwinds*, so a crashed leader
-                // cannot wedge every later growth attempt.
-                struct PrepareGuard<'c> {
-                    coordinator: &'c Coordinator,
-                    armed: bool,
-                }
-                impl Drop for PrepareGuard<'_> {
-                    fn drop(&mut self) {
-                        if self.armed {
-                            self.coordinator.growing_flag.store(false, Ordering::SeqCst);
-                            self.coordinator.state.store(STATE_IDLE, Ordering::Release);
-                        }
-                    }
-                }
-                let mut guard = PrepareGuard {
-                    coordinator: &self.coordinator,
-                    armed: true,
-                };
-                // Re-check staleness now that we own the lock.
-                if self.current.version() != observed_version {
-                    return Ok(());
-                }
-                self.prepare_migration(observed_version, handle_shared)?;
-                guard.armed = false;
-                if let Some(pool) = self.pool_shared.lock().as_ref() {
-                    pool.signal_migration();
-                }
-                match self.options.strategy {
-                    GrowStrategy::Enslave => self.participate(),
-                    GrowStrategy::Pool => {}
-                }
-                self.wait_until_replaced(observed_version);
-                Ok(())
-            }
-            Err(_) => {
-                self.help_or_wait(observed_version);
-                Ok(())
-            }
-        }
-    }
-
-    /// Leader-only: allocate the target table and publish the migration
-    /// job.  Fallible: an allocation failure leaves the table untouched
-    /// (the caller's guard restores the coordinator state).
-    fn prepare_migration(
-        &self,
-        expected_version: u64,
-        leader: &HandleShared,
-    ) -> Result<(), crate::mem::AllocError> {
-        if self.synchronized() {
-            // RCU-style exclusion (§5.3.2): raise the growing flag, then
-            // wait until every registered handle has been observed outside
-            // a table operation at least once.  The leader's own handle is
-            // exempt (it cleared its busy flag before calling grow()).
-            self.coordinator.growing_flag.store(true, Ordering::SeqCst);
-            let handles = self.handles.lock().clone();
-            for shared in handles.iter() {
-                if std::ptr::eq(shared.as_ref(), leader) {
-                    continue;
-                }
-                while shared.active.load(Ordering::Acquire)
-                    && shared.busy.load(Ordering::SeqCst) != 0
-                {
-                    std::thread::yield_now();
-                }
-            }
-        }
-
-        let (source, version) = self.current.acquire();
-        debug_assert_eq!(version, expected_version);
-        let live = self.counts.live_estimate() as usize;
-        let old_capacity = source.capacity();
-        // Desired capacity from the live estimate (2·live … 4·live cells);
-        // never shrink below a small minimum so tiny tables stay cheap to
-        // migrate.
-        let desired = capacity_for(live.max(1)).max(64);
-        let new_capacity = if desired > old_capacity {
-            // Grow by at least the configured factor.
-            desired.max(old_capacity * self.options.grow.growth_factor)
-        } else if (live as f64) < self.options.grow.shrink_threshold * old_capacity as f64
-            && desired < old_capacity
-        {
-            desired // shrink
-        } else {
-            old_capacity // cleanup migration (γ = 1): drop tombstones only
-        };
-
-        let block_size = self.options.grow.migration_block;
-        let total_blocks = old_capacity.div_ceil(block_size);
-        if growt_failpoints::fire("grow.prepare.alloc") {
-            return Err(crate::mem::AllocError {
-                bytes: new_capacity * std::mem::size_of::<crate::cell::Cell>(),
-            });
-        }
-        let target = Arc::new(BoundedTable::try_with_cells_configured(
-            new_capacity,
-            version + 1,
-            source.hash_select(),
-            source.probe_select(),
-        )?);
-        let job = Arc::new(MigrationJob {
-            source,
-            target,
-            expected_version: version,
-            next_block: AtomicUsize::new(0),
-            blocks_done: AtomicUsize::new(0),
-            total_blocks,
-            block_size,
-            migrated: AtomicU64::new(0),
-            block_states: (0..total_blocks)
-                .map(|_| AtomicU8::new(BLOCK_FREE))
-                .collect(),
-            finalize_state: AtomicU8::new(FINALIZE_IDLE),
-            rehash: new_capacity < old_capacity,
-            marking: self.marking(),
-        });
-        *self.coordinator.job.lock() = Some(job);
-        self.coordinator
-            .state
-            .store(STATE_MIGRATING, Ordering::Release);
-        Ok(())
-    }
-
-    /// The currently installed migration job, if any.
-    fn current_job(&self) -> Option<Arc<MigrationJob>> {
-        self.coordinator.job.lock().as_ref().map(Arc::clone)
-    }
-
-    /// Pull migration blocks until none are left; the participant that
-    /// completes the last block finalizes the migration.
-    pub(crate) fn participate(&self) {
-        self.participate_bounded(usize::MAX);
-    }
-
-    /// Pull migration blocks until none are left *or* this caller has
-    /// copied `budget` blocks, whichever comes first (the bounded help of
-    /// DESIGN.md §13).  Stopping early is always safe: a block is either
-    /// untouched (the cursor simply never dealt it to us) or fully copied
-    /// and completed under its lease, so the remaining participants — and,
-    /// after the waiters' patience runs out, the rescue pass — observe
-    /// exactly the states they would under help-until-done.
-    pub(crate) fn participate_bounded(&self, budget: usize) {
-        let Some(job) = self.current_job() else {
-            return;
-        };
-        // Phase 1: deal out fresh blocks through the shared cursor.
-        let mut copied = 0usize;
-        while copied < budget {
-            let block = job.next_block.fetch_add(1, Ordering::AcqRel);
-            if block >= job.total_blocks {
-                break;
-            }
-            if job.block_states[block]
-                .compare_exchange(
-                    BLOCK_FREE,
-                    BLOCK_CLAIMED,
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                )
-                .is_err()
-            {
-                // A rescuer already (re-)claimed this block after its first
-                // owner crashed and released the lease; the cursor moves on.
-                continue;
-            }
-            self.copy_block(&job, block);
-            copied += 1;
-        }
-        self.maybe_finalize(&job);
-    }
-
-    /// Copy one leased block into the target and complete the lease.
-    ///
-    /// The lease guard releases the claim (CLAIMED → FREE) if the copy
-    /// unwinds — an injected fault or an allocation panic inside the copy
-    /// must not strand the block forever; a rescuer will re-claim and
-    /// re-copy it (idempotently).  Completion (CLAIMED → DONE) has exactly
-    /// one winner even when a stalled owner races its own rescuer, so
-    /// `blocks_done` counts every block exactly once.
-    fn copy_block(&self, job: &Arc<MigrationJob>, block: usize) {
-        struct Lease<'j> {
-            job: &'j MigrationJob,
-            block: usize,
-            completed: bool,
-        }
-        impl Drop for Lease<'_> {
-            fn drop(&mut self) {
-                if !self.completed {
-                    let _ = self.job.block_states[self.block].compare_exchange(
-                        BLOCK_CLAIMED,
-                        BLOCK_FREE,
-                        Ordering::AcqRel,
-                        Ordering::Acquire,
-                    );
-                }
-            }
-        }
-        let mut lease = Lease {
-            job,
-            block,
-            completed: false,
-        };
-        growt_failpoints::fire("grow.block.claimed");
-        let capacity = job.source.capacity();
-        let start = block * job.block_size;
-        let end = ((block + 1) * job.block_size).min(capacity);
-        let migrated = if job.rehash {
-            migrate_block_rehash(&job.source, &job.target, start, end, job.marking)
-        } else if job.marking {
-            migrate_block_marking(&job.source, &job.target, start, end)
-        } else {
-            migrate_block_exclusive(&job.source, &job.target, start, end)
-        };
-        job.migrated.fetch_add(migrated as u64, Ordering::AcqRel);
-        lease.completed = true;
-        if job.block_states[block]
-            .compare_exchange(
-                BLOCK_CLAIMED,
-                BLOCK_DONE,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            )
-            .is_ok()
-        {
-            job.blocks_done.fetch_add(1, Ordering::AcqRel);
-        }
-    }
-
-    /// Rescue pass for a migration that stopped making progress: re-claim
-    /// released leases and re-copy claimed-but-stalled blocks, then try to
-    /// finalize.  Entered from [`Inner::wait_until_replaced`] after a long
-    /// patience window, so in the fault-free case it never runs; when it
-    /// does, re-copying a block whose owner is merely slow (rather than
-    /// dead) is wasteful but safe — copies are idempotent and completion
-    /// has a single winner.
-    fn rescue_stalled_blocks(&self, job: &Arc<MigrationJob>) {
-        for block in 0..job.total_blocks {
-            if self.current.version() != job.expected_version {
-                return; // someone finalized a replacement meanwhile
-            }
-            match job.block_states[block].load(Ordering::Acquire) {
-                BLOCK_DONE => continue,
-                BLOCK_FREE => {
-                    // Released by a crashed owner's lease guard (or never
-                    // dealt out because the owner died between the cursor
-                    // fetch-add and the claim).
-                    if job.block_states[block]
-                        .compare_exchange(
-                            BLOCK_FREE,
-                            BLOCK_CLAIMED,
-                            Ordering::AcqRel,
-                            Ordering::Acquire,
-                        )
-                        .is_ok()
-                    {
-                        self.copy_block(job, block);
-                    }
-                }
-                _ => {
-                    // CLAIMED: the owner may be alive but descheduled — a
-                    // re-copy is idempotent either way, so make progress
-                    // instead of trying to distinguish.
-                    self.copy_block(job, block);
-                }
-            }
-        }
-        self.maybe_finalize(job);
-    }
-
-    /// Finalize the migration once every block lease is DONE.  Re-entrant:
-    /// any number of participants may call this; the latch picks one
-    /// finalizer at a time, and a finalizer that unwinds releases the
-    /// latch so the next caller retries (all finalization steps are
-    /// idempotent — the generation publish is version-guarded).
-    fn maybe_finalize(&self, job: &Arc<MigrationJob>) {
-        while job.blocks_done.load(Ordering::Acquire) >= job.total_blocks {
-            match job.finalize_state.compare_exchange(
-                FINALIZE_IDLE,
-                FINALIZE_RUNNING,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
-                Ok(_) => {
-                    self.finalize(job);
-                    return;
-                }
-                Err(FINALIZE_DONE) => return,
-                // Another finalizer is mid-flight: wait for it to either
-                // finish (DONE) or unwind (back to IDLE, then we retry).
-                Err(_) => std::thread::yield_now(),
-            }
-        }
-    }
-
-    /// Degenerate-case recovery: if the source table had **no empty cell at
-    /// all** (possible when inserts race ahead of a lagging growth trigger
-    /// and fill the table completely), the cluster migration finds no
-    /// cluster *start* anywhere — every block owner defers to "an earlier
-    /// block" — and nothing is copied.  Lemma 1 presupposes at least one
-    /// empty cell, so this cannot happen in the paper's α ≤ 0.6 regime, but
-    /// the implementation must not lose data when it does.  The last
-    /// participant detects `migrated == 0` with a non-empty source and
-    /// re-migrates everything with CAS re-insertion.
-    fn recover_if_degenerate(&self, job: &Arc<MigrationJob>) {
-        if job.rehash || job.migrated.load(Ordering::Acquire) != 0 {
-            return;
-        }
-        let (live, _, _) = job.source.scan_counts();
-        if live == 0 {
-            return;
-        }
-        let recovered = migrate_block_rehash(
-            &job.source,
-            &job.target,
-            0,
-            job.source.capacity(),
-            job.marking,
-        );
-        job.migrated.fetch_add(recovered as u64, Ordering::AcqRel);
-    }
-
-    /// The single-finalizer body behind the latch in
-    /// [`Inner::maybe_finalize`].  Idempotent by construction so that a
-    /// first attempt that unwinds (injected fault) can be completed by a
-    /// retry: the counter reset is a plain store, the publish is guarded
-    /// by the expected version, and the coordinator teardown checks that
-    /// the installed job is still this one.
-    fn finalize(&self, job: &Arc<MigrationJob>) {
-        struct Latch<'j> {
-            job: &'j MigrationJob,
-            completed: bool,
-        }
-        impl Drop for Latch<'_> {
-            fn drop(&mut self) {
-                let next = if self.completed {
-                    FINALIZE_DONE
-                } else {
-                    FINALIZE_IDLE
-                };
-                self.job.finalize_state.store(next, Ordering::Release);
-            }
-        }
-        let mut latch = Latch {
-            job,
-            completed: false,
-        };
-        growt_failpoints::fire("grow.finalize");
-        self.recover_if_degenerate(job);
-        // All blocks are migrated: no writer can still succeed on the old
-        // table (every cell is frozen under the marking protocol; under the
-        // synchronized protocol the growing flag excludes writers), so the
-        // counters can be reset before the new table becomes visible.
-        self.counts
-            .reset_after_migration(job.migrated.load(Ordering::Acquire));
-        if self
-            .current
-            .publish_if(job.expected_version, Arc::clone(&job.target))
-            .is_ok()
-        {
-            self.coordinator
-                .migrations_completed
-                .fetch_add(1, Ordering::AcqRel);
-        }
-        {
-            let mut slot = self.coordinator.job.lock();
-            if slot.as_ref().is_some_and(|j| Arc::ptr_eq(j, job)) {
-                *slot = None;
-            }
-        }
-        self.coordinator.growing_flag.store(false, Ordering::SeqCst);
-        latch.completed = true;
-        self.coordinator.state.store(STATE_IDLE, Ordering::Release);
-    }
-
-    /// Help with (enslavement) or wait for (pool) an in-flight migration of
-    /// the table version `observed_version`.  Under a
-    /// [`GrowingOptions::help_budget`] a drafted helper copies at most
-    /// that many blocks before falling through to the backoff wait; the
-    /// growth leader (in [`Inner::try_grow_once`]) never comes through
-    /// here and stays unbudgeted, so every migration retains at least one
-    /// help-until-done participant.
-    fn help_or_wait(&self, observed_version: u64) {
-        match self.options.strategy {
-            GrowStrategy::Enslave => {
-                // The job may not be published yet (leader still preparing);
-                // spin until there is something to do or the table changed.
-                loop {
-                    if self.current.version() != observed_version {
-                        return;
-                    }
-                    let state = self.coordinator.state.load(Ordering::Acquire);
-                    match state {
-                        STATE_MIGRATING => {
-                            self.participate_bounded(
-                                self.options.help_budget.unwrap_or(usize::MAX),
-                            );
-                            self.wait_until_replaced(observed_version);
-                            return;
-                        }
-                        STATE_IDLE => return,
-                        _ => std::hint::spin_loop(),
-                    }
-                }
-            }
-            GrowStrategy::Pool => self.wait_until_replaced(observed_version),
-        }
-    }
-
-    fn wait_until_replaced(&self, observed_version: u64) {
-        /// Cumulative sleep before a waiter suspects the migration of
-        /// being wedged and mounts a rescue (then again every this-many
-        /// microseconds).  Large enough that a healthy migration always
-        /// finishes first, small enough that an abandoned one recovers in
-        /// milliseconds.
-        const RESCUE_PATIENCE_US: u64 = 10_000;
-        /// Backoff cap.  Same shape as the grow-retry backoff (50 µs
-        /// doubling) but a much tighter cap: a waiter that oversleeps the
-        /// publication adds its remaining sleep directly to the trapped
-        /// op's latency, whereas the grow-retry path only delays a
-        /// *re-attempt* after an allocation failure.
-        const BACKOFF_CAP_US: u64 = 500;
-        let mut spins = 0u32;
-        let mut backoff_us = 50u64;
-        let mut slept_us = 0u64;
-        while self.current.version() == observed_version
-            && self.coordinator.state.load(Ordering::Acquire) != STATE_IDLE
-        {
-            spins = spins.wrapping_add(1);
-            if spins < 64 {
-                std::hint::spin_loop();
-            } else if spins < 128 {
-                std::thread::yield_now();
-            } else {
-                // Long migration: stop burning the memory bus with
-                // spin/yield polling and sleep with capped exponential
-                // backoff, leaving the cores to the active participants.
-                std::thread::sleep(std::time::Duration::from_micros(backoff_us));
-                slept_us += backoff_us;
-                backoff_us = (backoff_us * 2).min(BACKOFF_CAP_US);
-                if slept_us >= RESCUE_PATIENCE_US {
-                    slept_us = 0;
-                    // The migration has not completed for a long time: its
-                    // participants may have crashed holding block leases or
-                    // an unfinished finalization.  Rescue instead of
-                    // waiting forever (this also recruits waiting
-                    // application threads under the Pool strategy — a
-                    // documented deviation that only matters when the pool
-                    // itself died; DESIGN.md §12).
-                    if let Some(job) = self.current_job() {
-                        if job.expected_version == observed_version {
-                            self.rescue_stalled_blocks(&job);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
     /// Execute `op` under the (optional) simulated-HTM speculative path.
     ///
     /// Lives on `Inner` (not the handle) so operations can call it while
@@ -909,6 +315,131 @@ impl Inner {
         shared.busy.store(0, Ordering::Release);
         let mut handles = self.handles.lock();
         handles.retain(|h| !Arc::ptr_eq(h, shared));
+    }
+}
+
+/// The word table's instantiation of the shared §12 coordinator
+/// ([`crate::coord`]): generations are [`BoundedTable`]s, block copies
+/// dispatch on the cluster/marking/exclusive migration kernels, and all
+/// four strategy axes (enslave/pool × marking/synchronized, plus the help
+/// budget) map onto the trait hooks.  The protocol itself — leases,
+/// rescue, finalization latch, backoff degradation — lives entirely in the
+/// trait's default methods.
+impl GrowProtocol for Inner {
+    type Gen = BoundedTable;
+    type Leader = HandleShared;
+
+    const FP_PREPARE_ALLOC: &'static str = "grow.prepare.alloc";
+    const FP_BLOCK_CLAIMED: &'static str = "grow.block.claimed";
+    const FP_FINALIZE: &'static str = "grow.finalize";
+
+    fn coord(&self) -> &Coordinator<BoundedTable> {
+        &self.coordinator
+    }
+
+    fn generations(&self) -> &VersionedArc<BoundedTable> {
+        &self.current
+    }
+
+    fn counts(&self) -> &GlobalCount {
+        &self.counts
+    }
+
+    fn grow_config(&self) -> &GrowConfig {
+        &self.options.grow
+    }
+
+    fn capacity_of(table: &BoundedTable) -> usize {
+        table.capacity()
+    }
+
+    fn alloc_generation(
+        &self,
+        source: &BoundedTable,
+        new_capacity: usize,
+        version: u64,
+    ) -> Result<BoundedTable, crate::mem::AllocError> {
+        BoundedTable::try_with_cells_configured(
+            new_capacity,
+            version,
+            source.hash_select(),
+            source.probe_select(),
+        )
+    }
+
+    fn copy_range(&self, job: &MigrationJob<BoundedTable>, start: usize, end: usize) -> usize {
+        if job.rehash {
+            migrate_block_rehash(&job.source, &job.target, start, end, job.marking)
+        } else if job.marking {
+            migrate_block_marking(&job.source, &job.target, start, end)
+        } else {
+            migrate_block_exclusive(&job.source, &job.target, start, end)
+        }
+    }
+
+    fn uses_marking(&self) -> bool {
+        self.marking()
+    }
+
+    fn enslaves(&self) -> bool {
+        self.options.strategy == GrowStrategy::Enslave
+    }
+
+    fn help_budget(&self) -> Option<usize> {
+        self.options.help_budget
+    }
+
+    /// RCU-style exclusion (§5.3.2): raise the growing flag, then wait
+    /// until every registered handle has been observed outside a table
+    /// operation at least once.  The leader's own handle is exempt (it
+    /// cleared its busy flag before calling `grow()`).
+    fn quiesce_writers(&self, leader: &HandleShared) {
+        if !self.synchronized() {
+            return;
+        }
+        self.coordinator.growing_flag.store(true, Ordering::SeqCst);
+        let handles = self.handles.lock().clone();
+        for shared in handles.iter() {
+            if std::ptr::eq(shared.as_ref(), leader) {
+                continue;
+            }
+            while shared.active.load(Ordering::Acquire) && shared.busy.load(Ordering::SeqCst) != 0 {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    fn signal_pool(&self) {
+        if let Some(pool) = self.pool_shared.lock().as_ref() {
+            pool.signal_migration();
+        }
+    }
+
+    /// Degenerate-case recovery: if the source table had **no empty cell at
+    /// all** (possible when inserts race ahead of a lagging growth trigger
+    /// and fill the table completely), the cluster migration finds no
+    /// cluster *start* anywhere — every block owner defers to "an earlier
+    /// block" — and nothing is copied.  Lemma 1 presupposes at least one
+    /// empty cell, so this cannot happen in the paper's α ≤ 0.6 regime, but
+    /// the implementation must not lose data when it does.  The last
+    /// participant detects `migrated == 0` with a non-empty source and
+    /// re-migrates everything with CAS re-insertion.
+    fn recover_degenerate(&self, job: &Arc<MigrationJob<BoundedTable>>) {
+        if job.rehash || job.migrated.load(Ordering::Acquire) != 0 {
+            return;
+        }
+        let (live, _, _) = job.source.scan_counts();
+        if live == 0 {
+            return;
+        }
+        let recovered = migrate_block_rehash(
+            &job.source,
+            &job.target,
+            0,
+            job.source.capacity(),
+            job.marking,
+        );
+        job.migrated.fetch_add(recovered as u64, Ordering::AcqRel);
     }
 }
 

@@ -23,7 +23,11 @@
 //! * [`keyspace`] — restoring the full 64-bit key space (§5.6);
 //! * [`complex`] — complex (non-word) key support via indirection with
 //!   hash signatures (§5.7): the bounded [`complex::StringKeyTable`]
-//!   baseline and the growing, deleting [`complex::GrowingStringTable`].
+//!   baseline and the growing, deleting [`complex::GrowingStringTable`];
+//! * [`generic`] — the typed facade [`generic::GrowMap`]`<K, V>`: arbitrary
+//!   keys and values over the same cells and the same shared migration
+//!   coordinator, inline when word-sized and packed behind QSBR-reclaimed
+//!   references otherwise (§14 of DESIGN.md).
 
 #![warn(missing_docs)]
 
@@ -31,9 +35,11 @@ pub mod bulk;
 pub mod cell;
 pub mod complex;
 pub mod config;
+pub(crate) mod coord;
 pub mod count;
 pub mod cpu;
 pub mod crc;
+pub mod generic;
 pub mod grow;
 pub mod keyspace;
 pub mod mem;
@@ -45,6 +51,7 @@ pub mod variants;
 
 pub use complex::{GrowingStringTable, StringHandle, StringKeyTable};
 pub use config::{capacity_for, GrowConfig, HashSelect, ProbeSelect};
+pub use generic::{GrowMap, GrowMapHandle, KeyRepr, ValueRepr};
 pub use grow::{Consistency, GrowHandle, GrowStrategy, GrowingOptions, GrowingTable};
 pub use table::BoundedTable;
 pub use variants::{

@@ -1,0 +1,113 @@
+//! The shared `INFLIGHT` publication discipline (DESIGN.md §12).
+//!
+//! Tables whose cells are **two separate atomic words** (key and value)
+//! cannot publish an element with one double-word CAS; they publish in
+//! steps instead: claim the empty key slot with `CAS(EMPTY → INFLIGHT)`,
+//! store the value, then publish the real key with `CAS(INFLIGHT → key)`.
+//! Probes spin out the (very short) in-flight window so a published key
+//! always carries its initialized value, and a claimer that *died* inside
+//! the window is repaired to a tombstone after a patience bound so it
+//! cannot stall probes forever.
+//!
+//! The discipline used to be copy-pasted between the bounded string table
+//! of `growt-core` and the folly-/junction-style baselines, each with its
+//! own patience constant; this module is the single definition.  The
+//! fault-injection hooks stay at the call sites (this crate is
+//! dependency-free): the baselines fire `baseline.inflight` before their
+//! publication CAS, the bounded string table fires `string.inflight`
+//! right after its claim CAS.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Key word of a claimed cell whose value store has not been published
+/// yet.  Chosen so it can never collide with a real key: the word tables
+/// reserve `u64::MAX` anyway, and packed string references have bit 63
+/// clear.
+pub const INFLIGHT: u64 = u64::MAX;
+
+/// What a crashed in-flight claim is repaired to — the tombstone encoding
+/// (`1`) shared by every two-word table.
+pub const REPAIRED_TOMBSTONE: u64 = 1;
+
+/// Probe iterations through an [`INFLIGHT`] cell before a waiter declares
+/// the claimer dead and repairs the cell to a tombstone.  Large enough
+/// that a descheduled claimer always finishes first in practice, small
+/// enough that a crashed one cannot stall probes forever.
+pub const REPAIR_PATIENCE: u32 = 1 << 14;
+
+/// Load a key slot, spinning out the [`INFLIGHT`] window so callers only
+/// ever observe a sentinel or a fully published key.  The window makes
+/// probes *lock-free rather than wait-free*: a claimer descheduled inside
+/// it stalls every probe through the cell until it runs again, so after a
+/// short spin the waiter yields its timeslice to the claimer instead of
+/// burning it.
+///
+/// A claimer that *died* inside the window would stall probes forever;
+/// after [`REPAIR_PATIENCE`] iterations the waiter repairs the cell to
+/// [`REPAIRED_TOMBSTONE`].  This is safe because the only transition into
+/// `INFLIGHT` is from empty (so the loop terminates) and publication is
+/// the [`publish_key`] CAS: a zombie claimer whose cell was repaired
+/// loses that CAS, observes the repair, and probes past — it can never
+/// revive a tombstone.
+#[inline]
+pub fn load_published_key(slot: &AtomicU64) -> u64 {
+    let mut spins = 0u32;
+    loop {
+        let stored = slot.load(Ordering::Acquire);
+        if stored != INFLIGHT {
+            return stored;
+        }
+        spins = spins.wrapping_add(1);
+        if spins < 64 {
+            std::hint::spin_loop();
+        } else if spins >= REPAIR_PATIENCE {
+            let _ = slot.compare_exchange(
+                INFLIGHT,
+                REPAIRED_TOMBSTONE,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            );
+            // Whatever the outcome, the next load is conclusive: a cell
+            // never becomes INFLIGHT again.
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Publish a claimed slot: `INFLIGHT → key`.  Returns `false` when the
+/// claim was repaired to a tombstone while the claimer stalled inside the
+/// window — the claim is lost for good (tombstones are never revived) and
+/// the caller must probe past.
+#[inline]
+pub fn publish_key(slot: &AtomicU64, key: u64) -> bool {
+    slot.compare_exchange(INFLIGHT, key, Ordering::AcqRel, Ordering::Acquire)
+        .is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_wins_on_inflight_slot() {
+        let slot = AtomicU64::new(INFLIGHT);
+        assert!(publish_key(&slot, 42));
+        assert_eq!(load_published_key(&slot), 42);
+    }
+
+    #[test]
+    fn publish_loses_on_repaired_slot() {
+        let slot = AtomicU64::new(REPAIRED_TOMBSTONE);
+        assert!(!publish_key(&slot, 42));
+        assert_eq!(load_published_key(&slot), REPAIRED_TOMBSTONE);
+    }
+
+    #[test]
+    fn load_passes_published_words_through() {
+        for word in [0u64, 1, 2, 1 << 48, (1 << 63) - 1] {
+            let slot = AtomicU64::new(word);
+            assert_eq!(load_published_key(&slot), word);
+        }
+    }
+}

@@ -21,6 +21,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod inflight;
+
 /// Key type used throughout the reproduction: one machine word.
 pub type Key = u64;
 /// Value type used throughout the reproduction: one machine word.
@@ -437,6 +439,155 @@ pub trait StringMapHandle {
     /// [`StringMapHandle::try_insert`] for the error contract.
     fn try_insert_or_add(&mut self, key: &str, delta: u64) -> Result<InsertOrUpdate, TryGrowError> {
         Ok(self.insert_or_add(key, delta))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed (generic) keys and values — the `GrowMap<K, V>` facade
+// ---------------------------------------------------------------------------
+
+/// A concurrent hash map over arbitrary key and value types.
+///
+/// This is the fully general trait surface the paper's title promises
+/// ("fast **and general**"): keys are any hashable type, values any
+/// clonable type.  Word-sized keys and values are stored inline in the
+/// cells (the same double-word-CAS fast path as [`ConcurrentMap`]
+/// implementations); larger types are stored behind signature-packed
+/// references with deferred reclamation, exactly like [`StringMap`]'s
+/// keys.  Mirrors the other map traits: the shared table object is cheap
+/// to share and all operations go through a per-thread handle.
+pub trait GenericMap<K, V>: Send + Sync + Sized + 'static {
+    /// The per-thread handle type.
+    type Handle<'a>: GenericMapHandle<K, V>
+    where
+        Self: 'a;
+
+    /// Create a table able to hold roughly `capacity` elements (initial
+    /// hint; the table grows transparently).
+    fn with_capacity(capacity: usize) -> Self;
+
+    /// Obtain a handle for the calling thread.
+    fn handle(&self) -> Self::Handle<'_>;
+
+    /// Short display name used in figures and tables.
+    fn map_name() -> &'static str;
+}
+
+/// Per-thread access handle of a [`GenericMap`].
+///
+/// All methods take `&mut self` for the same reason as [`MapHandle`]: a
+/// handle is owned by one thread and may carry thread-local state (cached
+/// table generations, QSBR participation, buffered counters).  Updates
+/// take a *derivation closure* `Fn(&V) -> V` instead of [`MapHandle`]'s
+/// word-level `fn` pointer: the closure is applied atomically with
+/// respect to other modifications of the same element (internally a
+/// read–derive–CAS loop), so no concurrent interleaving can lose an
+/// update.
+pub trait GenericMapHandle<K, V> {
+    /// Insert `⟨k, v⟩` if no element with key `k` is present.  Returns
+    /// `true` iff the element was inserted; concurrent inserters of the
+    /// same key see exactly one winner.
+    fn insert(&mut self, key: &K, value: &V) -> bool;
+
+    /// Look up the value stored for `key`.  A returned value is always a
+    /// fully published one — implementations must never expose the
+    /// transient state of an in-flight insertion or update.
+    fn find(&mut self, key: &K) -> Option<V>;
+
+    /// Atomically replace the value of an existing `key` by `up(current)`.
+    /// Returns `true` iff an element was present and updated.
+    fn update(&mut self, key: &K, up: &dyn Fn(&V) -> V) -> bool;
+
+    /// Insert `⟨k, v⟩` if `k` is absent, otherwise atomically replace the
+    /// stored value by `up(current)` — the generalization of
+    /// [`MapHandle::insert_or_update`].
+    fn insert_or_update(&mut self, key: &K, value: &V, up: &dyn Fn(&V) -> V) -> InsertOrUpdate;
+
+    /// Remove the element with `key`.  Returns `true` iff an element was
+    /// removed.  Out-of-line key/value allocations are reclaimed through
+    /// the implementation's deferred-reclamation scheme, never while
+    /// another thread may still dereference them.
+    fn erase(&mut self, key: &K) -> bool;
+
+    // -----------------------------------------------------------------
+    // Batched operations (paper §5.5). Defaults are plain per-op loops;
+    // semantically a batch call must return exactly what the per-op loop
+    // over the slice in order would return (see the batching contract on
+    // [`MapHandle::find_batch`]).
+    // -----------------------------------------------------------------
+
+    /// Look up a whole batch of keys; `out[i]` receives the result of
+    /// `find(&keys[i])`.  `keys` and `out` must have equal lengths.
+    fn find_batch(&mut self, keys: &[K], out: &mut [Option<V>]) {
+        assert_eq!(keys.len(), out.len(), "find_batch: length mismatch");
+        for (k, slot) in keys.iter().zip(out.iter_mut()) {
+            *slot = self.find(k);
+        }
+    }
+
+    /// Insert a batch of `⟨k, v⟩` pairs in slice order; returns the number
+    /// of elements actually inserted.
+    fn insert_batch(&mut self, elements: &[(K, V)]) -> usize {
+        let mut inserted = 0;
+        for (k, v) in elements {
+            if self.insert(k, v) {
+                inserted += 1;
+            }
+        }
+        inserted
+    }
+
+    /// Apply `insert_or_update(k, v, up)` for every pair in slice order;
+    /// returns the number of elements newly inserted.
+    fn insert_or_update_batch(&mut self, elements: &[(K, V)], up: &dyn Fn(&V) -> V) -> usize {
+        let mut inserted = 0;
+        for (k, v) in elements {
+            if self.insert_or_update(k, v, up).inserted() {
+                inserted += 1;
+            }
+        }
+        inserted
+    }
+
+    /// Erase a batch of keys in slice order; returns the number of
+    /// elements actually removed.
+    fn erase_batch(&mut self, keys: &[K]) -> usize {
+        let mut erased = 0;
+        for k in keys {
+            if self.erase(k) {
+                erased += 1;
+            }
+        }
+        erased
+    }
+
+    /// Report a quiescent state / perform deferred maintenance (QSBR
+    /// reclamation of retired key/value allocations).
+    fn quiesce(&mut self) {}
+
+    /// Approximate number of live elements (§5.2 accuracy).
+    fn size_estimate(&mut self) -> usize {
+        0
+    }
+
+    /// Fallible [`GenericMapHandle::insert`]: when making room would
+    /// require growing and the next generation cannot be allocated within
+    /// a bounded number of retries, returns `Err(TryGrowError)` instead
+    /// of blocking until memory appears.  The element is **not** inserted
+    /// on error; the table stays valid.
+    fn try_insert(&mut self, key: &K, value: &V) -> Result<bool, TryGrowError> {
+        Ok(self.insert(key, value))
+    }
+
+    /// Fallible [`GenericMapHandle::insert_or_update`]; see
+    /// [`GenericMapHandle::try_insert`] for the error contract.
+    fn try_insert_or_update(
+        &mut self,
+        key: &K,
+        value: &V,
+        up: &dyn Fn(&V) -> V,
+    ) -> Result<InsertOrUpdate, TryGrowError> {
+        Ok(self.insert_or_update(key, value, up))
     }
 }
 

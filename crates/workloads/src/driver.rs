@@ -10,7 +10,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use growt_iface::{ConcurrentMap, MapHandle, StringMap, StringMapHandle};
+use growt_iface::{
+    ConcurrentMap, GenericMap, GenericMapHandle, MapHandle, StringMap, StringMapHandle,
+};
 
 use crate::keys::{DeletionWorkload, MixedOp, MixedWorkload, ZipfMixedOp, ZipfMixedWorkload};
 use crate::latency::{Clock, LatencyHistogram};
@@ -484,6 +486,72 @@ where
         ops: total,
         aux: aux_total.load(Ordering::Relaxed),
     }
+}
+
+/// The [`run_parallel`] measurement loop over the typed map interface:
+/// `p` threads pull 4096-operation blocks and drive them through private
+/// [`GenericMapHandle`]s, with one quiescent point per block.
+pub fn run_parallel_generic<K, V, M, F>(map: &M, threads: usize, total: usize, op: F) -> Measurement
+where
+    M: GenericMap<K, V>,
+    F: Fn(&mut M::Handle<'_>, usize) -> u64 + Sync,
+{
+    assert!(threads > 0);
+    let scheduler = BlockScheduler::new(total);
+    let aux_total = AtomicU64::new(0);
+    let op = &op;
+    let scheduler = &scheduler;
+    let aux_ref = &aux_total;
+
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move || {
+                let mut handle = map.handle();
+                let mut aux = 0u64;
+                while let Some(range) = scheduler.next_block() {
+                    for i in range {
+                        aux = aux.wrapping_add(op(&mut handle, i));
+                    }
+                    handle.quiesce();
+                }
+                aux_ref.fetch_add(aux, Ordering::Relaxed);
+            });
+        }
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    Measurement {
+        seconds,
+        ops: total,
+        aux: aux_total.load(Ordering::Relaxed),
+    }
+}
+
+/// The aggregation workload over the typed map interface: one
+/// `insert_or_update(key, 1, +1)` per stream position — semantically the
+/// word-table `insert_or_increment`, expressed through the generic
+/// update closure; `aux` counts insertions (distinct keys seen first).
+pub fn generic_aggregate_driver<M: GenericMap<u64, u64>>(
+    map: &M,
+    keys: &[u64],
+    threads: usize,
+) -> Measurement {
+    run_parallel_generic(map, threads, keys.len(), |h, i| {
+        u64::from(h.insert_or_update(&keys[i], &1, &|c| c + 1).inserted())
+    })
+}
+
+/// The word-count workload over the typed map interface: `String` keys
+/// through the same generic update closure; `aux` counts distinct words.
+pub fn generic_wordcount_driver<M: GenericMap<String, u64>>(
+    map: &M,
+    corpus: &WordCorpus,
+    threads: usize,
+) -> Measurement {
+    run_parallel_generic(map, threads, corpus.stream.len(), |h, i| {
+        let word = &corpus.vocabulary[corpus.stream[i] as usize];
+        u64::from(h.insert_or_update(word, &1, &|c| c + 1).inserted())
+    })
 }
 
 /// The word-count workload: every stream position performs one

@@ -6,15 +6,26 @@
 //! threads; `insert` reports whether the edge is new, so each edge is
 //! processed exactly once even though producers overlap.
 //!
+//! The edge set is a `GrowMap<(u32, u32), ()>` — the typed facade stores
+//! the endpoint pair directly as the key (no hand-rolled bit packing into
+//! a word key) and `()` as the value, turning the map into a growing
+//! concurrent set.  The map starts tiny on purpose: the build must cross
+//! several growth migrations, and the result is checked for exactness
+//! against a sequential reference set afterwards.
+//!
 //! Run with: `cargo run --release --example dedup_graph`
 
 use growt_repro::prelude::*;
 use growt_workloads::Mt64;
 
-/// Pack an undirected edge into one word (smaller endpoint first).
-fn edge_key(u: u32, v: u32) -> u64 {
-    let (a, b) = if u <= v { (u, v) } else { (v, u) };
-    ((a as u64) << 32 | b as u64) + 2 // shift past reserved keys
+/// Normalize an undirected edge (smaller endpoint first) — the key type
+/// itself stays a plain tuple.
+fn edge(u: u32, v: u32) -> (u32, u32) {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
 }
 
 fn main() {
@@ -22,16 +33,16 @@ fn main() {
     let edges_per_thread = 500_000usize;
     let threads = 4u64;
 
-    let table = UaGrow::with_capacity(1 << 16);
+    let edge_set: GrowMap<(u32, u32), ()> = GrowMap::new(1 << 10);
     let unique = std::sync::atomic::AtomicU64::new(0);
 
     std::thread::scope(|scope| {
         for t in 0..threads {
-            let table = &table;
+            let edge_set = &edge_set;
             let unique = &unique;
             scope.spawn(move || {
                 let mut rng = Mt64::new(1000 + t);
-                let mut handle = table.handle();
+                let mut handle = edge_set.handle();
                 let mut local_new = 0u64;
                 for _ in 0..edges_per_thread {
                     // Skewed endpoints → many duplicate edges between hubs.
@@ -40,7 +51,7 @@ fn main() {
                     if u == v {
                         continue;
                     }
-                    if handle.insert(edge_key(u, v), 1) {
+                    if handle.insert(&edge(u, v), &()) {
                         local_new += 1;
                     }
                 }
@@ -49,22 +60,49 @@ fn main() {
         }
     });
 
-    let mut handle = table.handle();
     let produced = threads as usize * edges_per_thread;
+    let kept = unique.load(std::sync::atomic::Ordering::Relaxed);
+    println!("processed {produced} edge insertions, kept {kept} unique edges");
     println!(
-        "processed {produced} edge insertions, kept {} unique edges",
-        unique.load(std::sync::atomic::Ordering::Relaxed)
+        "table grew through {} migrations to capacity {}",
+        edge_set.migrations_completed(),
+        edge_set.current_capacity()
     );
 
-    // Edge queries.
+    // Exactness: replay the same streams into a sequential reference set.
+    let mut reference = std::collections::HashSet::new();
+    for t in 0..threads {
+        let mut rng = Mt64::new(1000 + t);
+        for _ in 0..edges_per_thread {
+            let u = (rng.next_below(nodes as u64) as u32) / 3;
+            let v = (rng.next_below(nodes as u64) as u32) / 3;
+            if u != v {
+                reference.insert(edge(u, v));
+            }
+        }
+    }
+    assert_eq!(kept as usize, reference.len(), "winner count diverged");
+    assert_eq!(
+        edge_set.size_exact_quiescent(),
+        reference.len(),
+        "edge set diverged from the sequential reference"
+    );
+    assert!(
+        edge_set.migrations_completed() > 0,
+        "build never crossed a migration"
+    );
+
+    // Edge queries through the typed interface.
+    let mut handle = edge_set.handle();
     let mut rng = Mt64::new(7);
     let mut present = 0;
     for _ in 0..1_000_000 {
         let u = (rng.next_below(nodes as u64) as u32) / 3;
         let v = (rng.next_below(nodes as u64) as u32) / 3;
-        if u != v && handle.find(edge_key(u, v)).is_some() {
+        if u != v && handle.find(&edge(u, v)).is_some() {
             present += 1;
         }
     }
     println!("random edge queries: {present} of 1000000 present");
+    println!("dedup result matches the sequential reference exactly");
 }

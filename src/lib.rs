@@ -50,13 +50,14 @@ pub mod prelude {
         RcuQsbrTable, RcuTable, TbbHashMap, TbbUnorderedMap,
     };
     pub use growt_core::{
-        Folklore, FolkloreCrc, FolkloreSimd, GrowingOptions, GrowingStringTable, GrowingTable,
-        HashSelect, PaGrow, ProbeSelect, PsGrow, StringKeyTable, TsxFolklore, UaGrow, UaGrowCrc,
-        UaGrowK1, UaGrowK16, UaGrowK4, UaGrowSimd, UsGrow,
+        Folklore, FolkloreCrc, FolkloreSimd, GrowMap, GrowMapHandle, GrowingOptions,
+        GrowingStringTable, GrowingTable, HashSelect, KeyRepr, PaGrow, ProbeSelect, PsGrow,
+        StringKeyTable, TsxFolklore, UaGrow, UaGrowCrc, UaGrowK1, UaGrowK16, UaGrowK4, UaGrowSimd,
+        UsGrow, ValueRepr,
     };
     pub use growt_iface::{
-        Capabilities, ConcurrentMap, GrowthSupport, InsertOrUpdate, MapHandle, StringMap,
-        StringMapHandle,
+        Capabilities, ConcurrentMap, GenericMap, GenericMapHandle, GrowthSupport, InsertOrUpdate,
+        MapHandle, StringMap, StringMapHandle,
     };
     pub use growt_seq::{SeqGrowingTable, SeqTable};
     pub use growt_workloads::{

@@ -31,7 +31,7 @@ use std::time::Duration;
 
 use growt_baselines::FollyStyle;
 use growt_core::complex::{GrowingStringTable, StringKeyTable};
-use growt_core::{GrowStrategy, GrowingOptions, GrowingTable};
+use growt_core::{GrowMap, GrowStrategy, GrowingOptions, GrowingTable};
 use growt_failpoints::{clear_all, configure, hits, remove, Action, ThreadExit, Trigger};
 use growt_iface::{ConcurrentMap, MapHandle};
 use growt_workloads::with_watchdog;
@@ -618,6 +618,101 @@ fn string_migration_thread_exit_leaks_nothing() {
             after <= baseline + 128 * 1024,
             "leak suspected: {baseline} bytes before, {after} after \
              (slack 128 KiB; a leaked generation or key batch is far larger)"
+        );
+    });
+}
+
+/// Generic-map analogue of the migration kill schedules: a writer driving
+/// a `GrowMap<String, [u64; 4]>` (boxed keys *and* boxed values) is killed
+/// the moment it has claimed a migration block.  The shared coordinator
+/// (DESIGN.md §14 runs the same §12 protocol for every table family) must
+/// let the survivor steal the lease and finish; every confirmed insert
+/// stays visible, the QSBR limbo drains without the dead participant, and
+/// the allocator returns to baseline after the map drops.
+#[test]
+fn generic_migration_thread_exit_leaks_nothing() {
+    serialized("generic-thread-exit-leak", || {
+        // Warm up one-time lazy allocations so they don't pollute the
+        // accounting below.
+        {
+            let warm: GrowMap<String, [u64; 4]> = GrowMap::new(64);
+            let mut handle = warm.handle();
+            handle.insert(&"warmup".to_string(), &[1, 0, 0, 0]);
+            configure("warmup.noop", Action::Yield(0), Trigger::Once);
+            clear_all();
+        }
+
+        let baseline = growt_alloc_track::current_bytes();
+        {
+            const PER_THREAD: u64 = 6_000;
+            let map: GrowMap<String, [u64; 4]> = GrowMap::new(64);
+            configure("generic.block.claimed", Action::ExitThread, Trigger::Once);
+
+            let mut results = Vec::new();
+            std::thread::scope(|scope| {
+                let workers: Vec<_> = (0..2u64)
+                    .map(|t| {
+                        let map = &map;
+                        scope.spawn(move || {
+                            let mut confirmed = Vec::new();
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                let mut handle = map.handle();
+                                for i in 0..PER_THREAD {
+                                    let key = format!("g{t}-{i}");
+                                    handle.insert(&key, &[i, t, 0, 0]);
+                                    confirmed.push((key, [i, t, 0, 0]));
+                                }
+                            }));
+                            let died = match outcome {
+                                Ok(()) => false,
+                                Err(payload) => {
+                                    assert!(payload.is::<ThreadExit>(), "unexpected panic payload");
+                                    true
+                                }
+                            };
+                            (confirmed, died)
+                        })
+                    })
+                    .collect();
+                for worker in workers {
+                    results.push(worker.join().unwrap());
+                }
+            });
+            assert_eq!(hits("generic.block.claimed"), 1);
+            assert_eq!(
+                results.iter().filter(|(_, died)| *died).count(),
+                1,
+                "the injected exit must kill exactly one writer"
+            );
+
+            // Exactness for everything confirmed, then erase half of it
+            // and drain the limbo without the dead participant.
+            let mut handle = map.handle();
+            for (confirmed, _) in &results {
+                for (key, value) in confirmed {
+                    assert_eq!(handle.find(key), Some(*value), "key {key}");
+                }
+            }
+            for (confirmed, _) in &results {
+                for (key, _) in confirmed.iter().step_by(2) {
+                    assert!(handle.erase(key), "key {key}");
+                }
+            }
+            for _ in 0..256 {
+                handle.quiesce();
+                if map.pending_reclamation() == 0 {
+                    break;
+                }
+            }
+            assert_eq!(map.pending_reclamation(), 0);
+            drop(handle);
+            assert!(map.migrations_completed() >= 1);
+        }
+        let after = growt_alloc_track::current_bytes();
+        assert!(
+            after <= baseline + 128 * 1024,
+            "leak suspected: {baseline} bytes before, {after} after \
+             (slack 128 KiB; a leaked generation or key/value box is far larger)"
         );
     });
 }

@@ -1,0 +1,140 @@
+//! Allocation-exact reclamation of the generic map's out-of-line memory.
+//!
+//! `GrowMap<String, [u64; 4]>` exercises both packed representations at
+//! once: every element owns a boxed key *and* a boxed value, updates
+//! displace value boxes into the QSBR limbo list, and erases retire both
+//! allocations.  The tracking allocator is installed as the binary's
+//! global allocator, so "nothing leaked" is checked at the allocator
+//! level: after the map and all handles drop, the live-byte counter must
+//! return to its pre-map baseline — no matter how many migrations,
+//! updates and deletions happened in between.
+//!
+//! This file intentionally holds a single `#[test]` — a second
+//! concurrently running test would pollute the allocator counters.
+
+use growt_repro::growt_alloc_track;
+use growt_repro::prelude::*;
+
+#[global_allocator]
+static GLOBAL: growt_alloc_track::TrackingAlloc = growt_alloc_track::TrackingAlloc;
+
+/// One-time lazy allocations (thread-local buffers, runtime statics) must
+/// happen before the baseline is taken, so the leak check only sees the
+/// map's own allocations.
+fn warmup() {
+    let map: GrowMap<String, [u64; 4]> = GrowMap::new(16);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let map = &map;
+            s.spawn(move || {
+                let mut h = map.handle();
+                for i in 0..200u64 {
+                    let key = format!("warm-{i}");
+                    h.insert_or_update(&key, &[1, 0, 0, 0], &|v: &[u64; 4]| {
+                        let mut n = *v;
+                        n[0] += 1;
+                        n
+                    });
+                    if i % 2 == 0 {
+                        h.erase(&key);
+                    }
+                }
+                h.quiesce();
+            });
+        }
+    });
+    drop(map);
+}
+
+/// Joined threads may still be mid-shutdown: `scope`/`join` return when a
+/// worker signals completion, but the runtime frees the worker's own
+/// bookkeeping (its `Thread` handle, TLS slots) moments later.  Wait for
+/// the live-byte counter to hold still before trusting it.
+fn settled_bytes() -> u64 {
+    let mut last = growt_alloc_track::current_bytes();
+    let mut stable = 0;
+    for _ in 0..500 {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let now = growt_alloc_track::current_bytes();
+        if now == last {
+            stable += 1;
+            if stable >= 25 {
+                break;
+            }
+        } else {
+            stable = 0;
+            last = now;
+        }
+    }
+    last
+}
+
+#[test]
+fn generic_map_reclaims_every_box_exactly() {
+    warmup();
+    let baseline = settled_bytes();
+
+    {
+        // Tiny initial capacity: the ingest crosses several growth
+        // migrations while keys and values churn.
+        let map: GrowMap<String, [u64; 4]> = GrowMap::new(16);
+        let threads = 4u64;
+        let per_thread = 2_500u64;
+        let distinct = 600u64;
+
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let map = &map;
+                s.spawn(move || {
+                    let mut h = map.handle();
+                    for i in 0..per_thread {
+                        let idx = (i.wrapping_mul(t + 1)) % distinct;
+                        let key = format!("leak-{idx}");
+                        // Insert, update (displacing a value box), and
+                        // periodically erase (retiring both boxes).
+                        h.insert_or_update(&key, &[1, t, 0, 0], &|v: &[u64; 4]| {
+                            let mut n = *v;
+                            n[0] += 1;
+                            n
+                        });
+                        if i % 7 == 0 {
+                            h.erase(&key);
+                        }
+                    }
+                    h.quiesce();
+                });
+            }
+        });
+
+        assert!(map.migrations_completed() > 0, "never migrated");
+
+        // A final handle quiescing alone cannot free what other
+        // (dropped) handles retired only if the domain still thinks they
+        // are active — dropping a handle unregisters it, so one surviving
+        // handle's quiescent states drain the limbo list completely.
+        let mut h = map.handle();
+        h.quiesce();
+        h.quiesce();
+        drop(h);
+        drop(map);
+        // The QSBR domain drops with the map, releasing any remaining
+        // deferred boxes.
+    }
+
+    // The counter must return to the baseline *exactly* — thread-shutdown
+    // stragglers just mean it may take a few milliseconds to get there.
+    let mut after = settled_bytes();
+    for _ in 0..500 {
+        if after == baseline {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        after = growt_alloc_track::current_bytes();
+    }
+    assert_eq!(
+        after,
+        baseline,
+        "generic map leaked {} bytes of key/value boxes",
+        after as i64 - baseline as i64
+    );
+}
